@@ -1,0 +1,244 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation (Sec. IV) on the synthetic benchmark suite:
+//
+//	tables -table 1        Table I   (CCR, ITC'99, split at M4/M6)
+//	tables -table 2        Table II  (HD/OER, ITC'99)
+//	tables -table 3        Table III (prior art vs proposed, ISCAS)
+//	tables -table f6       Footnote 6 (logical CCR without post-processing)
+//	tables -fig 5          Fig. 5    (layout cost: prelift / M4 / M6)
+//	tables -ideal          Sec. IV-A ideal proximity attack
+//	tables -all            everything
+//
+// Scale and pattern counts default to values that finish in minutes;
+// raise -scale/-patterns/-runs to approach the paper's full setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bmarks"
+	"repro/internal/flow"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "table to regenerate: 1, 2, 3 or f6")
+		fig      = flag.Int("fig", 0, "figure to regenerate: 5")
+		ideal    = flag.Bool("ideal", false, "run the ideal proximity attack experiment")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.Float64("scale", 0.1, "ITC'99 benchmark scale (1.0 = published size)")
+		keyBits  = flag.Int("keybits", 128, "key size")
+		patterns = flag.Int("patterns", 1<<16, "HD/OER simulation patterns (paper: 1M)")
+		runs     = flag.Int("runs", 2000, "ideal-attack runs (paper: 1M)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	any := false
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == "1" || *table == "2" || *table == "f6" {
+		any = true
+		rows, err := flow.RunITC(flow.ITCOptions{
+			Scale: *scale, KeyBits: *keyBits, Patterns: *patterns,
+			Seed: *seed, Parallel: *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *all || *table == "1" {
+			printTableI(rows)
+		}
+		if *all || *table == "2" {
+			printTableII(rows)
+		}
+		if *all || *table == "f6" {
+			printFootnote6(rows)
+		}
+	}
+	if *all || *table == "3" {
+		any = true
+		rows, err := flow.RunISCAS(flow.ISCASOptions{
+			KeyBits: *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		printTableIII(rows)
+	}
+	if *all || *fig == 5 {
+		any = true
+		rows, err := flow.RunFig5(flow.Fig5Options{
+			Scale: *scale, KeyBits: *keyBits, Seed: *seed, Parallel: *parallel,
+		})
+		if err != nil {
+			fail(err)
+		}
+		printFig5(rows)
+	}
+	if *all || *ideal {
+		any = true
+		fmt.Println("\n== Ideal proximity attack (Sec. IV-A): regular nets granted, key-nets guessed ==")
+		for _, b := range bmarks.ITC99Names() {
+			res, err := flow.RunIdealAttack(b, *scale, *keyBits, *runs, 256, *seed)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-6s runs=%-8d OER=%6.2f%%  full-key recoveries=%d\n",
+				b, res.Runs, res.OERPercent(), res.FullKeyRecoveries)
+		}
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printTableI(rows []flow.ITCRow) {
+	fmt.Println("\n== Table I: CCR (%) for ITC'99 benchmarks split at M4 and M6 ==")
+	fmt.Printf("%-6s | %8s %8s %8s | %8s %8s %8s\n", "", "M4", "", "", "M6", "", "")
+	fmt.Printf("%-6s | %8s %8s %8s | %8s %8s %8s\n",
+		"Bench", "KeyLog", "KeyPhys", "Regular", "KeyLog", "KeyPhys", "Regular")
+	var s4l, s4p, s4r, s6l, s6p, s6r float64
+	n := 0
+	for _, r := range rows {
+		m4, m6 := r.Results[4], r.Results[6]
+		fmt.Printf("%-6s | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f\n", r.Benchmark,
+			m4.CCR.KeyLogical*100, m4.CCR.KeyPhysical*100, m4.CCR.Regular*100,
+			m6.CCR.KeyLogical*100, m6.CCR.KeyPhysical*100, m6.CCR.Regular*100)
+		s4l += m4.CCR.KeyLogical
+		s4p += m4.CCR.KeyPhysical
+		s4r += m4.CCR.Regular
+		s6l += m6.CCR.KeyLogical
+		s6p += m6.CCR.KeyPhysical
+		s6r += m6.CCR.Regular
+		n++
+	}
+	if n > 0 {
+		f := 100 / float64(n)
+		fmt.Printf("%-6s | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f\n", "Avg",
+			s4l*f, s4p*f, s4r*f, s6l*f, s6p*f, s6r*f)
+	}
+	fmt.Println("paper: key-net logical ≈51/54, physical ≈0/1, regular ≈15/32 (M4/M6)")
+}
+
+func printTableII(rows []flow.ITCRow) {
+	fmt.Println("\n== Table II: HD and OER (%) for ITC'99 benchmarks split at M4/M6 ==")
+	fmt.Printf("%-6s | %8s %8s | %8s %8s\n", "Bench", "HD(M4)", "OER(M4)", "HD(M6)", "OER(M6)")
+	var h4, o4, h6, o6 float64
+	n := 0
+	for _, r := range rows {
+		m4, m6 := r.Results[4], r.Results[6]
+		fmt.Printf("%-6s | %8.0f %8.0f | %8.0f %8.0f\n", r.Benchmark,
+			m4.HD*100, m4.OER*100, m6.HD*100, m6.OER*100)
+		h4 += m4.HD
+		o4 += m4.OER
+		h6 += m6.HD
+		o6 += m6.OER
+		n++
+	}
+	if n > 0 {
+		f := 100 / float64(n)
+		fmt.Printf("%-6s | %8.0f %8.0f | %8.0f %8.0f\n", "Avg", h4*f, o4*f, h6*f, o6*f)
+	}
+	fmt.Println("paper: HD ≈53 (M4) / 25 (M6), OER = 100 everywhere")
+}
+
+func printFootnote6(rows []flow.ITCRow) {
+	fmt.Println("\n== Footnote 6: key-net logical CCR (%) without key post-processing ==")
+	fmt.Printf("%-6s | %8s %8s\n", "Bench", "M4", "M6")
+	var a4, a6 float64
+	n := 0
+	for _, r := range rows {
+		fmt.Printf("%-6s | %8.1f %8.1f\n", r.Benchmark,
+			r.Results[4].LogicalNoPost*100, r.Results[6].LogicalNoPost*100)
+		a4 += r.Results[4].LogicalNoPost
+		a6 += r.Results[6].LogicalNoPost
+		n++
+	}
+	if n > 0 {
+		fmt.Printf("%-6s | %8.1f %8.1f\n", "Avg", a4/float64(n)*100, a6/float64(n)*100)
+	}
+	fmt.Println("paper: 17.6 (M4) / 29.3 (M6) — dropping well below 50%")
+}
+
+func printTableIII(rows []flow.ISCASRow) {
+	fmt.Println("\n== Table III: PNR / CCR / HD / OER (%) on ISCAS split at M4 ==")
+	fmt.Printf("%-6s", "Bench")
+	for _, s := range flow.SchemeNames() {
+		fmt.Printf(" | %-9s PNR  CCR   HD  OER", s)
+	}
+	fmt.Println()
+	avg := map[string]*flow.SchemeResult{}
+	for _, s := range flow.SchemeNames() {
+		avg[s] = &flow.SchemeResult{}
+	}
+	for _, r := range rows {
+		fmt.Printf("%-6s", r.Benchmark)
+		for _, s := range flow.SchemeNames() {
+			v := r.Schemes[s]
+			fmt.Printf(" | %9s %4.0f %4.0f %4.0f %4.0f", "", v.PNR*100, v.CCR*100, v.HD*100, v.OER*100)
+			avg[s].PNR += v.PNR
+			avg[s].CCR += v.CCR
+			avg[s].HD += v.HD
+			avg[s].OER += v.OER
+		}
+		fmt.Println()
+	}
+	if len(rows) > 0 {
+		f := 100 / float64(len(rows))
+		fmt.Printf("%-6s", "Avg")
+		for _, s := range flow.SchemeNames() {
+			fmt.Printf(" | %9s %4.0f %4.0f %4.0f %4.0f", "", avg[s].PNR*f, avg[s].CCR*f, avg[s].HD*f, avg[s].OER*f)
+		}
+		fmt.Println()
+	}
+	fmt.Println("columns per scheme: PNR, CCR, HD, OER; CCR for 'proposed' is key-net physical CCR")
+	fmt.Println("paper averages: [22] 88/73/29/100, [12] 30/0/41/100, [13] –/0/42/100, proposed 28/1/43/100")
+}
+
+func printFig5(rows []flow.Fig5Row) {
+	fmt.Println("\n== Fig. 5: layout cost (%) vs unprotected baseline ==")
+	fmt.Printf("%-6s | %-22s | %-22s | %-22s\n", "", "Prelift", "Split M4", "Split M6")
+	fmt.Printf("%-6s | %6s %7s %7s | %6s %7s %7s | %6s %7s %7s\n",
+		"Bench", "Area", "Power", "Timing", "Area", "Power", "Timing", "Area", "Power", "Timing")
+	var pre, m4, m6 []flow.CostDelta
+	for _, r := range rows {
+		fmt.Printf("%-6s | %6.1f %7.1f %7.1f | %6.1f %7.1f %7.1f | %6.1f %7.1f %7.1f\n", r.Benchmark,
+			r.Prelift.Area, r.Prelift.Power, r.Prelift.Timing,
+			r.M4.Area, r.M4.Power, r.M4.Timing,
+			r.M6.Area, r.M6.Power, r.M6.Timing)
+		pre = append(pre, r.Prelift)
+		m4 = append(m4, r.M4)
+		m6 = append(m6, r.M6)
+	}
+	box := func(name string, ds []flow.CostDelta, pick func(flow.CostDelta) float64) {
+		var xs []float64
+		for _, d := range ds {
+			xs = append(xs, pick(d))
+		}
+		q := flow.ComputeQuartiles(xs)
+		fmt.Printf("  %-16s min %6.1f  Q1 %6.1f  med %6.1f  Q3 %6.1f  max %6.1f\n",
+			name, q.Min, q.Q1, q.Median, q.Q3, q.Max)
+	}
+	fmt.Println("box-plot series (as in the figure):")
+	for _, g := range []struct {
+		name string
+		ds   []flow.CostDelta
+	}{{"Prelift", pre}, {"M4", m4}, {"M6", m6}} {
+		box(g.name+" area", g.ds, func(d flow.CostDelta) float64 { return d.Area })
+		box(g.name+" power", g.ds, func(d flow.CostDelta) float64 { return d.Power })
+		box(g.name+" timing", g.ds, func(d flow.CostDelta) float64 { return d.Timing })
+	}
+	fmt.Println("paper medians: prelift area ≈ −12.75, power ≈ +7.7, timing ≈ +6.4;")
+	fmt.Println("               M4 area ≈ −10.1, power ≈ +20.3, timing ≈ +6.3; M6 area ≈ −8.8, power ≈ +15.5, timing ≈ +6.5")
+}

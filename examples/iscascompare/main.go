@@ -1,0 +1,38 @@
+// ISCAS comparison: the Table III scenario — protect c432 with each of
+// the three prior-art heuristic defenses ([22] routing perturbation,
+// [12] concerted wire lifting, [13] BEOL restore) and with the proposed
+// keyed scheme, attack all four, and compare PNR / CCR / HD / OER.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/flow"
+)
+
+func main() {
+	rows, err := flow.RunISCAS(flow.ISCASOptions{
+		Benchmarks: []string{"c432", "c880"},
+		KeyBits:    128,
+		Patterns:   1 << 14,
+		Seed:       3,
+		Parallel:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scheme        bench    PNR%   CCR%    HD%   OER%")
+	for _, row := range rows {
+		for _, s := range flow.SchemeNames() {
+			v := row.Schemes[s]
+			fmt.Printf("%-12s  %-6s  %5.1f  %5.1f  %5.1f  %5.1f\n",
+				s, row.Benchmark, v.PNR*100, v.CCR*100, v.HD*100, v.OER*100)
+		}
+	}
+	fmt.Println()
+	fmt.Println("reading guide: [22] leaves connectivity intact → the attack recovers most nets (high CCR);")
+	fmt.Println("[12]/[13] erase hints by lifting (CCR→0) but stay heuristic — no key, no formal bound;")
+	fmt.Println("the proposed scheme also erases hints AND carries a 128-bit key: an attacker")
+	fmt.Println("needs the BEOL secret, not just better heuristics, to recover the design.")
+}

@@ -1,0 +1,220 @@
+package atpg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func c17(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	src := `
+INPUT(I1)
+INPUT(I2)
+INPUT(I3)
+INPUT(I4)
+INPUT(I5)
+OUTPUT(U12)
+OUTPUT(U13)
+U8 = NAND(I1, I3)
+U9 = NAND(I3, I4)
+U10 = NAND(I2, U9)
+U11 = NAND(U9, I5)
+U12 = NAND(U8, U10)
+U13 = NAND(U10, U11)
+`
+	c, err := netlist.ParseBenchString(src, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnumerateFaults(t *testing.T) {
+	c := c17(t)
+	fs := EnumerateFaults(c)
+	// 6 internal NAND gates × 2 polarities.
+	if len(fs) != 12 {
+		t.Fatalf("fault count = %d, want 12", len(fs))
+	}
+	for _, f := range fs {
+		if c.Gate(f.Net).Type != netlist.Nand {
+			t.Errorf("fault on non-logic gate %v", c.Gate(f.Net).Type)
+		}
+	}
+}
+
+func TestFailingPatternsNANDStuck(t *testing.T) {
+	c := c17(t)
+	u8 := c.GateByName("U8")
+	// U8 = NAND(I1, I3): it computes 0 only when I1=I3=1.
+	// Stuck-at-1 fault: activation set = {I1=1, I3=1}, one minterm.
+	ps, err := FailingPatterns(c, Fault{u8, true}, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.OnCount != 1 {
+		t.Fatalf("sa1 on-count = %d, want 1", ps.OnCount)
+	}
+	if len(ps.Cubes) != 1 || ps.Cubes[0].Bits() != 2 {
+		t.Fatalf("sa1 cubes = %+v, want single 2-literal cube", ps.Cubes)
+	}
+	if ps.Cubes[0].Value != 3 { // both supports high
+		t.Fatalf("cube value = %b, want 11", ps.Cubes[0].Value)
+	}
+	// Stuck-at-0: activation set = complement, 3 minterms.
+	ps0, err := FailingPatterns(c, Fault{u8, false}, Options{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps0.OnCount != 3 {
+		t.Fatalf("sa0 on-count = %d, want 3", ps0.OnCount)
+	}
+	// Merged cover of {00,01,10} over 2 vars is 2 cubes (¬a + ¬b as
+	// 0-, -0) and must cover exactly.
+	var minterms []uint32
+	for m := uint32(0); m < 4; m++ {
+		if m != 3 {
+			minterms = append(minterms, m)
+		}
+	}
+	if !CoverExact(ps0.Cubes, minterms, 2) {
+		t.Fatalf("sa0 cover wrong: %+v", ps0.Cubes)
+	}
+}
+
+func TestFailingPatternsRejections(t *testing.T) {
+	c := c17(t)
+	// Fault on an input gate: rejected.
+	if _, err := FailingPatterns(c, Fault{c.GateByName("I1"), true}, Options{}); err == nil {
+		t.Fatal("fault on primary input accepted")
+	}
+	// Tight support bound: rejected.
+	u12 := c.GateByName("U12")
+	if _, err := FailingPatterns(c, Fault{u12, false}, Options{MaxDepth: 8, MaxSupport: 2}); err == nil {
+		t.Fatal("support bound not enforced")
+	}
+	// Tiny on-set bound: rejected.
+	if _, err := FailingPatterns(c, Fault{u12, false}, Options{MaxDepth: 8, MaxOnSet: 1}); err == nil {
+		t.Fatal("on-set bound not enforced")
+	}
+}
+
+func TestRedundantConstantNetRejected(t *testing.T) {
+	c := netlist.New("const")
+	a := c.MustAdd("a", netlist.Input)
+	na := c.MustAdd("na", netlist.Not, a)
+	// z = AND(a, ¬a) is constant 0: stuck-at-0 on z is redundant.
+	z := c.MustAdd("z", netlist.And, a, na)
+	c.MustAdd("o", netlist.Output, z)
+	_, err := FailingPatterns(c, Fault{z, false}, Options{MaxDepth: 4})
+	if _, ok := err.(*ErrRejected); !ok {
+		t.Fatalf("redundant fault not rejected: %v", err)
+	}
+	// Stuck-at-1 has the full on-set (all 2 minterms of support {a}).
+	ps, err := FailingPatterns(c, Fault{z, true}, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.OnCount != 2 {
+		t.Fatalf("on-count = %d, want 2", ps.OnCount)
+	}
+}
+
+func TestMergeMintermsFullSpace(t *testing.T) {
+	// All 8 minterms over 3 vars merge to the universal cube.
+	var minterms []uint32
+	for m := uint32(0); m < 8; m++ {
+		minterms = append(minterms, m)
+	}
+	cubes := MergeMinterms(minterms, 3)
+	if len(cubes) != 1 || cubes[0].Care != 0 {
+		t.Fatalf("full space cubes = %+v, want single don't-care cube", cubes)
+	}
+}
+
+func TestMergeMintermsProperty(t *testing.T) {
+	// Property: for random minterm sets, the merged cover is exact.
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%5) + 2 // 2..6 vars
+		mask := uint32(1<<uint(n)) - 1
+		set := make(map[uint32]bool)
+		for _, r := range raw {
+			set[uint32(r)&mask] = true
+		}
+		var minterms []uint32
+		for m := range set {
+			minterms = append(minterms, m)
+		}
+		if len(minterms) == 0 {
+			return true
+		}
+		cubes := MergeMinterms(minterms, n)
+		return CoverExact(cubes, minterms, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeReducesKeyBits(t *testing.T) {
+	// {000, 001} merges into 00- : 2 key bits instead of 6.
+	cubes := MergeMinterms([]uint32{0, 4}, 3) // differ in bit 2
+	if len(cubes) != 1 {
+		t.Fatalf("cubes = %+v", cubes)
+	}
+	if cubes[0].Bits() != 2 {
+		t.Fatalf("merged cube bits = %d, want 2", cubes[0].Bits())
+	}
+}
+
+func TestFaultSimDetectsAllC17Faults(t *testing.T) {
+	// c17 is fully testable: every stuck-at fault is detectable, and
+	// random patterns over 5 inputs quickly achieve full coverage.
+	c := c17(t)
+	fs := EnumerateFaults(c)
+	res, err := FaultSim(c, fs, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1.0 {
+		t.Fatalf("c17 coverage = %v, want 1.0", res.Coverage)
+	}
+}
+
+func TestFaultSimMissesRedundantFault(t *testing.T) {
+	// z = AND(a, NOT(a)) is constant 0; o = OR(z, b). Stuck-at-0 on z
+	// is undetectable.
+	c := netlist.New("red")
+	a := c.MustAdd("a", netlist.Input)
+	b := c.MustAdd("b", netlist.Input)
+	na := c.MustAdd("na", netlist.Not, a)
+	z := c.MustAdd("z", netlist.And, a, na)
+	o := c.MustAdd("orz", netlist.Or, z, b)
+	c.MustAdd("out", netlist.Output, o)
+	res, err := FaultSim(c, []Fault{{z, false}, {z, true}}, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected[0] {
+		t.Error("redundant sa0 reported detected")
+	}
+	if !res.Detected[1] {
+		t.Error("testable sa1 not detected")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	cu := Cube{Value: 0b101, Care: 0b111}
+	if !cu.Contains(0b101) || cu.Contains(0b100) {
+		t.Fatal("Contains broken for full-care cube")
+	}
+	cu = Cube{Value: 0b001, Care: 0b011}
+	if !cu.Contains(0b101) || !cu.Contains(0b001) || cu.Contains(0b010) {
+		t.Fatal("Contains broken for partial-care cube")
+	}
+	if PopCountCube(cu, 3) != 2 {
+		t.Fatal("PopCountCube wrong")
+	}
+}

@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/split"
+)
+
+// Ideal implements the "ideal proximity attack" of Sec. IV-A: the most
+// conservative analysis setup, in which the attacker is granted the
+// correct connection for every regular net and only the key-nets remain
+// to be resolved. Because the paper's construction leaves no FEOL hint
+// on key-nets, the best available strategy is a uniformly random guess
+// over the TIE cells — which is exactly what this function performs
+// (each seed gives one independent guess; the 1M-run experiment calls
+// it repeatedly).
+func Ideal(view *split.FEOLView, secret *split.Secret, seed uint64) Assignment {
+	rng := newRand(seed)
+	ties := view.TieStubs()
+	asg := make(Assignment, len(view.CutPins))
+	for _, cp := range view.CutPins {
+		if cp.IsKeyPin && len(ties) > 0 {
+			asg[cp.Ref] = ties[rng.intn(len(ties))].Driver
+		} else {
+			asg[cp.Ref] = secret.Assignment[cp.Ref]
+		}
+	}
+	return asg
+}
+
+// RandomGuess guesses every broken pin uniformly from the driver stubs
+// (keeping acyclicity via the repair pass) — the floor any attack must
+// beat.
+func RandomGuess(view *split.FEOLView, seed uint64) Assignment {
+	rng := newRand(seed ^ 0x9d2c)
+	asg := make(Assignment, len(view.CutPins))
+	if len(view.DriverStubs) == 0 {
+		return asg
+	}
+	for _, cp := range view.CutPins {
+		asg[cp.Ref] = view.DriverStubs[rng.intn(len(view.DriverStubs))].Driver
+	}
+	repairCycles(view.Circuit, view, asg, rng)
+	return asg
+}
+
+// GuessKeyPolarity extracts, for each key pin in the assignment, the
+// polarity of the TIE cell it was connected to; pins not connected to a
+// TIE cell yield no entry. Used by the brute-force probability
+// property tests (Theorem 1).
+func GuessKeyPolarity(view *split.FEOLView, asg Assignment) map[split.PinRef]bool {
+	out := make(map[split.PinRef]bool)
+	for _, cp := range view.KeyPins() {
+		d, ok := asg[cp.Ref]
+		if !ok {
+			continue
+		}
+		switch view.Circuit.Gate(d).Type {
+		case netlist.TieHi:
+			out[cp.Ref] = true
+		case netlist.TieLo:
+			out[cp.Ref] = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package bmarks
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	c, err := Generate(Spec{Name: "t1", Inputs: 8, Outputs: 4, Gates: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.ComputeStats()
+	if s.Inputs != 8 || s.Outputs != 4 {
+		t.Fatalf("IO mismatch: %+v", s)
+	}
+	if s.Gates < 100 {
+		t.Fatalf("gate count %d below target 100", s.Gates)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Spec{Name: "d", Inputs: 10, Outputs: 5, Gates: 200, DFFs: 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Spec{Name: "d", Inputs: 10, Outputs: 5, Gates: 200, DFFs: 12, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BenchString() != b.BenchString() {
+		t.Fatal("same spec+seed produced different circuits")
+	}
+	c, err := Generate(Spec{Name: "d", Inputs: 10, Outputs: 5, Gates: 200, DFFs: 12, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BenchString() == c.BenchString() {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateFullyLive(t *testing.T) {
+	c, err := Generate(Spec{Name: "live", Inputs: 12, Outputs: 3, Gates: 300, DFFs: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.NumGates()
+	removed := c.SweepDead()
+	if removed != 0 {
+		t.Fatalf("generator left %d dead gates of %d", removed, before)
+	}
+}
+
+func TestGenerateSequential(t *testing.T) {
+	c, err := Generate(Spec{Name: "seq", Inputs: 6, Outputs: 2, Gates: 150, DFFs: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.DFFs()); got != 20 {
+		t.Fatalf("DFF count = %d, want 20", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryNamesLoad(t *testing.T) {
+	if len(Names()) != 13 || len(ISCASNames()) != 7 || len(ITC99Names()) != 6 {
+		t.Fatal("registry name lists wrong")
+	}
+	for _, name := range ISCASNames() {
+		c, err := Load(name, 1.0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name != name {
+			t.Fatalf("circuit name %q, want %q", c.Name, name)
+		}
+	}
+	if _, err := Load("c9999", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLoadScaled(t *testing.T) {
+	full, err := Load("b14", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := full.ComputeStats()
+	if s.Gates < 900 || s.Gates > 1400 {
+		t.Fatalf("b14 at 0.1 scale has %d gates, want ≈1010", s.Gates)
+	}
+	if s.Inputs != 32 || s.Outputs != 54 {
+		t.Fatalf("scaling changed IO: %+v", s)
+	}
+	if s.DFFs != 24 {
+		t.Fatalf("b14 at 0.1 scale has %d DFFs, want 24", s.DFFs)
+	}
+}
+
+func TestGeneratedGateMix(t *testing.T) {
+	c, err := Generate(Spec{Name: "mix", Inputs: 16, Outputs: 8, Gates: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.ComputeStats()
+	// NAND-heavy mix: NANDs should dominate.
+	if s.ByType[netlist.Nand] < s.ByType[netlist.Xor] {
+		t.Errorf("gate mix not NAND-heavy: %v", s.ByType)
+	}
+	if s.Depth < 5 {
+		t.Errorf("suspiciously shallow circuit: depth %d", s.Depth)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	for _, spec := range []Spec{
+		{Inputs: 0, Outputs: 1, Gates: 10},
+		{Inputs: 1, Outputs: 0, Gates: 10},
+		{Inputs: 4, Outputs: 8, Gates: 4}, // fewer gates than outputs
+	} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}

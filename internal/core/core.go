@@ -1,0 +1,100 @@
+// Package core is the façade for the paper's primary contribution: the
+// "lock the FEOL, unlock at the BEOL" split manufacturing scheme. It
+// re-exports the pipeline in the vocabulary of the paper —
+// Lock → Layout → Split → Attack/Verify — so downstream users need a
+// single import, while the heavy lifting lives in the focused
+// sub-packages (locking, place, route, split, attack, metrics, flow).
+package core
+
+import (
+	"repro/internal/attack"
+	"repro/internal/flow"
+	"repro/internal/lec"
+	"repro/internal/locking"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/split"
+)
+
+// Config selects the scheme's parameters (see flow.Config).
+type Config = flow.Config
+
+// Protected is the result of protecting a design: the locked netlist,
+// its layout, and the split into FEOL view plus BEOL secret.
+type Protected = flow.Artifacts
+
+// Key is the secret key realized as TIE cells in the BEOL.
+type Key = locking.Key
+
+// FEOLView is what the untrusted foundry receives.
+type FEOLView = split.FEOLView
+
+// Secret is λ(x2): the BEOL connectivity withheld from the foundry.
+type Secret = split.Secret
+
+// Assignment is an attacker's hypothesis λ'(x2).
+type Assignment = attack.Assignment
+
+// Protect runs the complete secure flow of Fig. 3 on a design:
+// ATPG-based locking with k key bits, TIE-cell randomization, key-net
+// lifting above the split layer, and the split itself.
+func Protect(design *netlist.Circuit, cfg Config) (*Protected, error) {
+	return flow.Run(design, cfg)
+}
+
+// Unlock performs the trusted-BEOL completion H(C(x1,x2), λ(x2)) and
+// verifies the result against the original design with LEC. It returns
+// the completed netlist.
+func Unlock(p *Protected) (*netlist.Circuit, error) {
+	rec, err := p.View.Recombine(p.Secret.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lec.Check(p.Original, rec, lec.Options{Seed: p.Config.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Equivalent {
+		return nil, errNotEquivalent{}
+	}
+	return rec, nil
+}
+
+type errNotEquivalent struct{}
+
+func (errNotEquivalent) Error() string {
+	return "core: BEOL completion is not equivalent to the original design"
+}
+
+// Evaluate mounts the proximity attack of [7] (with the paper's
+// key-aware post-processing) against the protected design and returns
+// the full Sec. IV metric set.
+func Evaluate(p *Protected, patterns int, seed uint64) (EvaluationResult, error) {
+	asg, err := attack.Proximity(p.View, attack.ProximityOptions{
+		Seed:           seed,
+		KeyPostProcess: true,
+	})
+	if err != nil {
+		return EvaluationResult{}, err
+	}
+	ccr := metrics.ComputeCCR(p.View, p.Secret, asg)
+	d, err := metrics.Functional(p.Original, p.View, asg, patterns, seed+1)
+	if err != nil {
+		return EvaluationResult{}, err
+	}
+	return EvaluationResult{
+		CCR: ccr,
+		PNR: metrics.PNR(p.View, p.Secret, asg),
+		HD:  d.HD,
+		OER: d.OER,
+	}, nil
+}
+
+// EvaluationResult bundles the paper's security metrics for one attack
+// run.
+type EvaluationResult struct {
+	CCR metrics.CCR
+	PNR float64
+	HD  float64
+	OER float64
+}

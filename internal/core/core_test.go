@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bmarks"
+)
+
+// TestProtectUnlockEvaluate exercises the façade end to end: protect a
+// design, verify the trusted-BEOL unlock, and confirm the attacker's
+// metrics land where the paper puts them.
+func TestProtectUnlockEvaluate(t *testing.T) {
+	design, err := bmarks.Load("c880", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Protect(design, Config{KeyBits: 48, SplitLayer: 4, Seed: 11, UseATPGLock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Locked.Key.Len() != 48 {
+		t.Fatalf("key length %d", p.Locked.Key.Len())
+	}
+	rec, err := Unlock(p)
+	if err != nil {
+		t.Fatalf("trusted unlock failed: %v", err)
+	}
+	if rec.NumGates() == 0 {
+		t.Fatal("empty recombined netlist")
+	}
+	res, err := Evaluate(p, 1<<13, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCR.KeyPhysical > 0.2 {
+		t.Errorf("physical key CCR %.2f — TIE assignment leaked", res.CCR.KeyPhysical)
+	}
+	if res.CCR.KeyLogical < 0.25 || res.CCR.KeyLogical > 0.75 {
+		t.Errorf("logical key CCR %.2f — should be near 0.5", res.CCR.KeyLogical)
+	}
+	if res.OER == 0 {
+		t.Error("attack recovered a functionally correct design")
+	}
+	if res.PNR <= 0 || res.PNR > 1 {
+		t.Errorf("PNR out of range: %v", res.PNR)
+	}
+}

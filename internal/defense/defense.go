@@ -1,0 +1,130 @@
+// Package defense implements simplified versions of the prior-art
+// split manufacturing protections the paper compares against in
+// Table III. All three are heuristic, layout-perturbation schemes —
+// exactly the class the paper contrasts with its formally keyed
+// approach:
+//
+//   - PerturbRouting — routing perturbation [22] (Wang et al.
+//     ASPDAC'17): selected broken nets get displaced via stubs and
+//     scrambled escape directions. Connectivity is unchanged, so a
+//     proximity attacker still recovers most nets (the paper reports
+//     CCR ≈ 73% for this scheme).
+//   - LiftWires — concerted wire lifting [12] (Patnaik et al.
+//     ASPDAC'18): selected long/ambiguous nets are lifted wholesale to
+//     the BEOL with stacked vias (no FEOL hints). CCR collapses to ≈0
+//     but there is no key — security remains heuristic.
+//   - BEOLRestore — "raise your game" [13] (Patnaik et al. DAC'18):
+//     lifting plus functionality restoration through the BEOL, which
+//     permits lifting an even larger and less length-biased net
+//     population.
+//
+// Each function transforms a routed design's route.Result; the split
+// and attack stages then run unchanged.
+package defense
+
+import (
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// PerturbRouting implements routing perturbation [22]: for the given
+// fraction of broken connections, the FEOL escape stubs are displaced
+// by up to radius grid units and their direction hints are scrambled.
+func PerturbRouting(lay *layout.Layout, res *route.Result, frac float64, radius int, seed uint64) *route.Result {
+	out := cloneResult(res)
+	rng := sim.NewRand(seed ^ 0x22aa)
+	if radius <= 0 {
+		radius = 4
+	}
+	dirs := []layout.Direction{layout.DirEast, layout.DirWest, layout.DirNorth, layout.DirSouth}
+	for i := range out.Pins {
+		pr := &out.Pins[i]
+		if !pr.Cut(out.Opt.SplitLayer) || pr.Lifted {
+			continue
+		}
+		if rng.Float64() >= frac {
+			continue
+		}
+		pr.AscendAt.X += rng.Intn(2*radius+1) - radius
+		pr.AscendAt.Y += rng.Intn(2*radius+1) - radius
+		pr.DescendAt.X += rng.Intn(2*radius+1) - radius
+		pr.DescendAt.Y += rng.Intn(2*radius+1) - radius
+		pr.AscendDir = dirs[rng.Intn(len(dirs))]
+		pr.DescendDir = dirs[rng.Intn(len(dirs))]
+		pr.Detour += radius // the detour costs wirelength
+		pr.Length += radius
+	}
+	return out
+}
+
+// LiftWires implements concerted wire lifting [12]: the frac longest
+// connections are lifted above the split layer with stacked vias at the
+// pins, erasing all FEOL hints for them.
+func LiftWires(lay *layout.Layout, res *route.Result, frac float64, seed uint64) *route.Result {
+	out := cloneResult(res)
+	type cand struct {
+		idx, length int
+	}
+	var cands []cand
+	for i := range out.Pins {
+		pr := &out.Pins[i]
+		if pr.Lifted {
+			continue
+		}
+		cands = append(cands, cand{idx: i, length: pr.Length})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].length != cands[j].length {
+			return cands[i].length > cands[j].length
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	n := int(frac * float64(len(cands)))
+	for _, cd := range cands[:n] {
+		liftPin(lay, &out.Pins[cd.idx], out.Opt.SplitLayer)
+	}
+	return out
+}
+
+// BEOLRestore implements the DAC'18 scheme [13]: because the BEOL can
+// restore functionality, lifting is not limited to long nets — a
+// random population of the given fraction is lifted, including short
+// nets whose endpoints sit close together (which would otherwise be
+// trivially re-inferred).
+func BEOLRestore(lay *layout.Layout, res *route.Result, frac float64, seed uint64) *route.Result {
+	out := cloneResult(res)
+	rng := sim.NewRand(seed ^ 0x1313)
+	var idxs []int
+	for i := range out.Pins {
+		if !out.Pins[i].Lifted {
+			idxs = append(idxs, i)
+		}
+	}
+	perm := rng.Perm(len(idxs))
+	n := int(frac * float64(len(idxs)))
+	for k := 0; k < n && k < len(perm); k++ {
+		liftPin(lay, &out.Pins[idxs[perm[k]]], out.Opt.SplitLayer)
+	}
+	return out
+}
+
+// liftPin rewrites one connection as fully lifted: routed above the
+// split layer, stacked vias directly on the pins, no direction hints.
+func liftPin(lay *layout.Layout, pr *route.PinRoute, splitLayer int) {
+	pr.Lifted = true
+	pr.KeyLayer = splitLayer + 1
+	pr.AscendAt = lay.Pos(pr.Driver)
+	pr.DescendAt = lay.Pos(pr.Sink)
+	pr.AscendDir = layout.DirNone
+	pr.DescendDir = layout.DirNone
+	pr.Vias = 2 * splitLayer
+}
+
+func cloneResult(res *route.Result) *route.Result {
+	out := *res
+	out.Pins = append([]route.PinRoute(nil), res.Pins...)
+	return &out
+}

@@ -1,0 +1,147 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/bmarks"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/split"
+)
+
+func placedDesign(t *testing.T, gates int, seed uint64) (*netlist.Circuit, *layout.Layout, *route.Result) {
+	t.Helper()
+	c, err := bmarks.Generate(bmarks.Spec{Name: "d", Inputs: 24, Outputs: 12, Gates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := place.Place(c, place.Options{Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := route.RouteAll(lay, route.Options{SplitLayer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, lay, routes
+}
+
+func attackCCR(t *testing.T, lay *layout.Layout, routes *route.Result, seed uint64) metrics.CCR {
+	t.Helper()
+	view, secret, err := split.Split(lay, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := attack.Proximity(view, attack.ProximityOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return metrics.ComputeCCR(view, secret, asg)
+}
+
+func TestLiftWiresErasesHints(t *testing.T) {
+	_, lay, routes := placedDesign(t, 1500, 10)
+	lifted := LiftWires(lay, routes, 0.3, 11)
+	n := 0
+	for i := range lifted.Pins {
+		pr := &lifted.Pins[i]
+		if !pr.Lifted {
+			continue
+		}
+		n++
+		if pr.AscendAt != lay.Pos(pr.Driver) || pr.DescendAt != lay.Pos(pr.Sink) {
+			t.Fatal("lifted pin stubs not at pins")
+		}
+		if pr.AscendDir != layout.DirNone || pr.DescendDir != layout.DirNone {
+			t.Fatal("lifted pin leaks direction")
+		}
+		if !pr.Cut(4) {
+			t.Fatal("lifted pin not cut")
+		}
+	}
+	if n == 0 {
+		t.Fatal("nothing lifted")
+	}
+	// Original result untouched.
+	for i := range routes.Pins {
+		if routes.Pins[i].Lifted {
+			t.Fatal("defense mutated the input result")
+		}
+	}
+}
+
+func TestLiftingReducesCCR(t *testing.T) {
+	// The Table III ordering: lifting-based defenses ([12]/[13])
+	// collapse regular-net CCR versus perturbation only ([22]).
+	_, lay, routes := placedDesign(t, 1500, 20)
+	baseCCR := attackCCR(t, lay, routes, 1)
+	pertCCR := attackCCR(t, lay, PerturbRouting(lay, routes, 0.5, 5, 21), 1)
+	liftCCR := attackCCR(t, lay, LiftWires(lay, routes, 0.5, 22), 1)
+	t.Logf("CCR: unprotected=%.3f perturb=%.3f lift=%.3f", baseCCR.Regular, pertCCR.Regular, liftCCR.Regular)
+	// Ordering (allowing ties — our attack is weaker on regular nets
+	// than Wang et al.'s network-flow formulation, so all three can
+	// saturate near the matching floor on dense layouts):
+	// lifting ≤ perturbation ≤ unprotected.
+	if liftCCR.Regular > pertCCR.Regular+0.02 {
+		t.Fatalf("lifting (%.3f) weaker than perturbation (%.3f)", liftCCR.Regular, pertCCR.Regular)
+	}
+	if pertCCR.Regular > baseCCR.Regular+0.02 {
+		t.Fatalf("perturbation (%.3f) raised CCR above unprotected (%.3f)", pertCCR.Regular, baseCCR.Regular)
+	}
+	// Lifting must erase the physical hints entirely: no lifted pin may
+	// be exactly recovered beyond chance.
+	if liftCCR.Regular > 0.05 {
+		t.Fatalf("lifted nets recovered at %.3f", liftCCR.Regular)
+	}
+}
+
+func TestBEOLRestoreLiftsRequestedFraction(t *testing.T) {
+	_, lay, routes := placedDesign(t, 1000, 30)
+	out := BEOLRestore(lay, routes, 0.4, 31)
+	total, lifted := 0, 0
+	for i := range out.Pins {
+		total++
+		if out.Pins[i].Lifted {
+			lifted++
+		}
+	}
+	frac := float64(lifted) / float64(total)
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("lifted fraction %.2f, want ≈0.4", frac)
+	}
+}
+
+func TestPerturbationKeepsConnectivity(t *testing.T) {
+	_, lay, routes := placedDesign(t, 800, 40)
+	out := PerturbRouting(lay, routes, 1.0, 6, 41)
+	if len(out.Pins) != len(routes.Pins) {
+		t.Fatal("pin count changed")
+	}
+	for i := range out.Pins {
+		if out.Pins[i].Driver != routes.Pins[i].Driver || out.Pins[i].Sink != routes.Pins[i].Sink {
+			t.Fatal("perturbation changed connectivity")
+		}
+	}
+}
+
+func TestDefenseDeterminism(t *testing.T) {
+	_, lay, routes := placedDesign(t, 600, 50)
+	a := LiftWires(lay, routes, 0.3, 7)
+	b := LiftWires(lay, routes, 0.3, 7)
+	for i := range a.Pins {
+		if a.Pins[i].Lifted != b.Pins[i].Lifted {
+			t.Fatal("LiftWires not deterministic")
+		}
+	}
+	p1 := PerturbRouting(lay, routes, 0.5, 4, 9)
+	p2 := PerturbRouting(lay, routes, 0.5, 4, 9)
+	for i := range p1.Pins {
+		if p1.Pins[i].AscendAt != p2.Pins[i].AscendAt {
+			t.Fatal("PerturbRouting not deterministic")
+		}
+	}
+}

@@ -1,0 +1,527 @@
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/bmarks"
+	"repro/internal/defense"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/split"
+)
+
+// SplitResult aggregates the Table I / Table II / footnote 6 metrics
+// for one benchmark at one split layer.
+type SplitResult struct {
+	SplitLayer int
+	// CCR is measured with the paper's key-aware post-processing.
+	CCR metrics.CCR
+	// LogicalNoPost is the key-net logical CCR without post-processing
+	// (footnote 6).
+	LogicalNoPost float64
+	// HD and OER compare the attack-recovered netlist against the
+	// original (Table II), as fractions.
+	HD, OER float64
+	// Runtime is the flow wall-clock time.
+	Runtime time.Duration
+}
+
+// ITCRow is one benchmark's results across both split layers.
+type ITCRow struct {
+	Benchmark string
+	Results   map[int]SplitResult // keyed by split layer
+}
+
+// ITCOptions configures the Table I/II experiment.
+type ITCOptions struct {
+	// Benchmarks defaults to the ITC'99 set.
+	Benchmarks []string
+	// Scale shrinks the synthetic benchmarks (1.0 = published size).
+	Scale float64
+	// KeyBits defaults to 128.
+	KeyBits int
+	// Patterns is the HD/OER simulation depth (the paper uses 1M).
+	Patterns int
+	// Seed drives everything.
+	Seed uint64
+	// SplitLayers defaults to {4, 6}.
+	SplitLayers []int
+	// Parallel runs benchmark×layer jobs concurrently (the paper's
+	// flow exploits a 128-core host the same way).
+	Parallel bool
+}
+
+func (o ITCOptions) withDefaults() ITCOptions {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = bmarks.ITC99Names()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	if o.KeyBits <= 0 {
+		o.KeyBits = 128
+	}
+	if o.Patterns <= 0 {
+		o.Patterns = 1 << 16
+	}
+	if len(o.SplitLayers) == 0 {
+		o.SplitLayers = []int{4, 6}
+	}
+	return o
+}
+
+// RunITC regenerates Tables I and II (and the footnote 6 numbers).
+func RunITC(opt ITCOptions) ([]ITCRow, error) {
+	opt = opt.withDefaults()
+	rows := make([]ITCRow, len(opt.Benchmarks))
+	type job struct{ bi, layer int }
+	var jobs []job
+	for bi := range opt.Benchmarks {
+		rows[bi] = ITCRow{Benchmark: opt.Benchmarks[bi], Results: make(map[int]SplitResult)}
+		for _, sl := range opt.SplitLayers {
+			jobs = append(jobs, job{bi, sl})
+		}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	run := func(j job) {
+		res, err := runOneITC(opt.Benchmarks[j.bi], j.layer, opt)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s/M%d: %w", opt.Benchmarks[j.bi], j.layer, err)
+			}
+			return
+		}
+		rows[j.bi].Results[j.layer] = res
+	}
+	if opt.Parallel {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run(j)
+			}(j)
+		}
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			run(j)
+		}
+	}
+	return rows, firstErr
+}
+
+func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error) {
+	orig, err := bmarks.Load(bench, opt.Scale)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	art, err := Run(orig, Config{
+		KeyBits:     opt.KeyBits,
+		SplitLayer:  splitLayer,
+		Seed:        opt.Seed + uint64(splitLayer)*1000,
+		UseATPGLock: true,
+	})
+	if err != nil {
+		return SplitResult{}, err
+	}
+	res := SplitResult{SplitLayer: splitLayer, Runtime: art.Runtime}
+
+	asg, err := attack.Proximity(art.View, attack.ProximityOptions{
+		Seed:           opt.Seed + 7,
+		KeyPostProcess: true,
+	})
+	if err != nil {
+		return SplitResult{}, err
+	}
+	res.CCR = metrics.ComputeCCR(art.View, art.Secret, asg)
+	d, err := metrics.Functional(orig, art.View, asg, opt.Patterns, opt.Seed+8)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	res.HD, res.OER = d.HD, d.OER
+
+	// Footnote 6: the raw attack without key post-processing.
+	rawAsg, err := attack.Proximity(art.View, attack.ProximityOptions{Seed: opt.Seed + 7})
+	if err != nil {
+		return SplitResult{}, err
+	}
+	res.LogicalNoPost = metrics.ComputeCCR(art.View, art.Secret, rawAsg).KeyLogical
+	return res, nil
+}
+
+// SchemeResult is one Table III cell group.
+type SchemeResult struct {
+	PNR, CCR, HD, OER float64
+}
+
+// ISCASRow is one Table III row.
+type ISCASRow struct {
+	Benchmark string
+	// Schemes is keyed "perturb22", "lift12", "restore13", "proposed".
+	Schemes map[string]SchemeResult
+}
+
+// ISCASOptions configures the Table III experiment.
+type ISCASOptions struct {
+	Benchmarks []string
+	KeyBits    int
+	Patterns   int
+	Seed       uint64
+	// LiftFraction is the lifted-connection budget for [12]/[13]
+	// (default 0.5).
+	LiftFraction float64
+	Parallel     bool
+}
+
+func (o ISCASOptions) withDefaults() ISCASOptions {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = bmarks.ISCASNames()
+	}
+	if o.KeyBits <= 0 {
+		o.KeyBits = 128
+	}
+	if o.Patterns <= 0 {
+		o.Patterns = 1 << 15
+	}
+	if o.LiftFraction <= 0 {
+		o.LiftFraction = 0.5
+	}
+	return o
+}
+
+// SchemeNames lists the Table III columns in published order.
+func SchemeNames() []string { return []string{"perturb22", "lift12", "restore13", "proposed"} }
+
+// RunISCAS regenerates Table III: the three prior-art defenses and the
+// proposed scheme, each attacked with the proximity attack.
+func RunISCAS(opt ISCASOptions) ([]ISCASRow, error) {
+	opt = opt.withDefaults()
+	rows := make([]ISCASRow, len(opt.Benchmarks))
+	var firstErr error
+	var mu sync.Mutex
+	work := func(bi int) {
+		row, err := runOneISCAS(opt.Benchmarks[bi], opt)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", opt.Benchmarks[bi], err)
+			return
+		}
+		rows[bi] = row
+	}
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		for bi := range opt.Benchmarks {
+			wg.Add(1)
+			go func(bi int) { defer wg.Done(); work(bi) }(bi)
+		}
+		wg.Wait()
+	} else {
+		for bi := range opt.Benchmarks {
+			work(bi)
+		}
+	}
+	return rows, firstErr
+}
+
+func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
+	row := ISCASRow{Benchmark: bench, Schemes: make(map[string]SchemeResult)}
+	orig, err := bmarks.Load(bench, 1.0)
+	if err != nil {
+		return row, err
+	}
+	// Prior-art defenses protect the unlocked design.
+	lay, err := place.Place(orig, place.Options{Seed: opt.Seed + 1})
+	if err != nil {
+		return row, err
+	}
+	routes, err := route.RouteAll(lay, route.Options{SplitLayer: 4})
+	if err != nil {
+		return row, err
+	}
+	priors := map[string]*route.Result{
+		"perturb22": defense.PerturbRouting(lay, routes, 0.9, 5, opt.Seed+2),
+		"lift12":    defense.LiftWires(lay, routes, opt.LiftFraction, opt.Seed+3),
+		"restore13": defense.BEOLRestore(lay, routes, opt.LiftFraction, opt.Seed+4),
+	}
+	for name, r := range priors {
+		view, secret, err := split.Split(lay, r)
+		if err != nil {
+			return row, err
+		}
+		asg, err := attack.Proximity(view, attack.ProximityOptions{Seed: opt.Seed + 5})
+		if err != nil {
+			return row, err
+		}
+		ccr := metrics.ComputeCCR(view, secret, asg)
+		d, err := metrics.Functional(orig, view, asg, opt.Patterns, opt.Seed+6)
+		if err != nil {
+			return row, err
+		}
+		row.Schemes[name] = SchemeResult{
+			PNR: metrics.PNR(view, secret, asg),
+			CCR: ccr.Regular,
+			HD:  d.HD,
+			OER: d.OER,
+		}
+	}
+	// Proposed: the full SplitLock flow; CCR reports the key-nets'
+	// physical CCR (Table III note).
+	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9, UseATPGLock: true})
+	if err != nil {
+		return row, err
+	}
+	asg, err := attack.Proximity(art.View, attack.ProximityOptions{Seed: opt.Seed + 5, KeyPostProcess: true})
+	if err != nil {
+		return row, err
+	}
+	ccr := metrics.ComputeCCR(art.View, art.Secret, asg)
+	d, err := metrics.Functional(orig, art.View, asg, opt.Patterns, opt.Seed+6)
+	if err != nil {
+		return row, err
+	}
+	row.Schemes["proposed"] = SchemeResult{
+		PNR: metrics.PNR(art.View, art.Secret, asg),
+		CCR: ccr.KeyPhysical,
+		HD:  d.HD,
+		OER: d.OER,
+	}
+	return row, nil
+}
+
+// CostDelta is one Fig. 5 measurement: percent change versus the
+// unprotected baseline layout.
+type CostDelta struct {
+	Area, Power, Timing float64
+}
+
+// Fig5Row is one benchmark's layout cost across the three variants.
+type Fig5Row struct {
+	Benchmark string
+	Prelift   CostDelta
+	M4        CostDelta
+	M6        CostDelta
+}
+
+// Fig5Options configures the layout cost experiment.
+type Fig5Options struct {
+	Benchmarks []string
+	Scale      float64
+	KeyBits    int
+	Seed       uint64
+	Parallel   bool
+}
+
+func (o Fig5Options) withDefaults() Fig5Options {
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = bmarks.ITC99Names()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	if o.KeyBits <= 0 {
+		o.KeyBits = 128
+	}
+	return o
+}
+
+// RunFig5 regenerates the Fig. 5 layout cost study.
+func RunFig5(opt Fig5Options) ([]Fig5Row, error) {
+	opt = opt.withDefaults()
+	rows := make([]Fig5Row, len(opt.Benchmarks))
+	var firstErr error
+	var mu sync.Mutex
+	work := func(bi int) {
+		row, err := runOneFig5(opt.Benchmarks[bi], opt)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", opt.Benchmarks[bi], err)
+			return
+		}
+		rows[bi] = row
+	}
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		for bi := range opt.Benchmarks {
+			wg.Add(1)
+			go func(bi int) { defer wg.Done(); work(bi) }(bi)
+		}
+		wg.Wait()
+	} else {
+		for bi := range opt.Benchmarks {
+			work(bi)
+		}
+	}
+	return rows, firstErr
+}
+
+func runOneFig5(bench string, opt Fig5Options) (Fig5Row, error) {
+	row := Fig5Row{Benchmark: bench}
+	orig, err := bmarks.Load(bench, opt.Scale)
+	if err != nil {
+		return row, err
+	}
+	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 11, UseATPGLock: true})
+	if err != nil {
+		return row, err
+	}
+	base, err := MeasurePPA(art, VariantBaseline)
+	if err != nil {
+		return row, err
+	}
+	prelift, err := MeasurePPA(art, VariantPrelift)
+	if err != nil {
+		return row, err
+	}
+	m4, err := MeasurePPA(art, VariantSplit)
+	if err != nil {
+		return row, err
+	}
+	art6 := *art
+	art6.Config.SplitLayer = 6
+	m6, err := MeasurePPA(&art6, VariantSplit)
+	if err != nil {
+		return row, err
+	}
+	delta := func(p metrics.PPA) CostDelta {
+		a, pw, d := p.Delta(base)
+		return CostDelta{Area: a, Power: pw, Timing: d}
+	}
+	row.Prelift = delta(prelift)
+	row.M4 = delta(m4)
+	row.M6 = delta(m6)
+	return row, nil
+}
+
+// IdealAttackResult summarizes the Sec. IV-A ideal-attack experiment.
+type IdealAttackResult struct {
+	Runs int
+	// ErrRuns counts runs whose recovered netlist showed at least one
+	// output error; the paper reports OER = 100% (ErrRuns == Runs).
+	ErrRuns int
+	// FullKeyRecoveries counts runs where the random guess matched the
+	// whole key physically (expected: 0).
+	FullKeyRecoveries int
+}
+
+// OERPercent is ErrRuns/Runs in percent.
+func (r IdealAttackResult) OERPercent() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.ErrRuns) / float64(r.Runs) * 100
+}
+
+// RunIdealAttack performs the ideal proximity attack experiment:
+// regular nets granted, key-nets guessed randomly, repeated `runs`
+// times (the paper uses 1,000,000; the per-run check is a fast
+// simulation so large counts are feasible).
+func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, seed uint64) (IdealAttackResult, error) {
+	res := IdealAttackResult{Runs: runs}
+	orig, err := bmarks.Load(bench, scale)
+	if err != nil {
+		return res, err
+	}
+	art, err := Run(orig, Config{KeyBits: keyBits, SplitLayer: 4, Seed: seed, UseATPGLock: true})
+	if err != nil {
+		return res, err
+	}
+	if patterns <= 0 {
+		patterns = 256
+	}
+	// Fast path: the recovered function depends only on the polarity
+	// each key pin receives, so one recombined netlist with two shared
+	// TIE drivers is mutated per run instead of rebuilding circuits.
+	rec, err := art.View.Recombine(art.Secret.Assignment)
+	if err != nil {
+		return res, err
+	}
+	hiT, err := rec.AddGate("ideal_hi", netlist.TieHi)
+	if err != nil {
+		return res, err
+	}
+	loT, err := rec.AddGate("ideal_lo", netlist.TieLo)
+	if err != nil {
+		return res, err
+	}
+	keyPins := art.View.KeyPins()
+	for r := 0; r < runs; r++ {
+		asg := attack.Ideal(art.View, art.Secret, seed+uint64(r)*2654435761)
+		full := true
+		for _, cp := range keyPins {
+			guess := asg[cp.Ref]
+			if guess != art.Secret.Assignment[cp.Ref] {
+				full = false
+			}
+			tie := loT
+			if rec.Gate(guess).Type == netlist.TieHi {
+				tie = hiT
+			}
+			if err := rec.SetFanin(cp.Ref.Gate, cp.Ref.Pin, tie); err != nil {
+				return res, err
+			}
+		}
+		if full {
+			res.FullKeyRecoveries++
+		}
+		d, err := sim.Compare(orig, rec, sim.CompareOptions{Patterns: patterns, Seed: seed + uint64(r), ObserveState: false})
+		if err != nil {
+			return res, err
+		}
+		if d.OER > 0 {
+			res.ErrRuns++
+		}
+	}
+	return res, nil
+}
+
+// Quartiles summarizes a sample for the Fig. 5 box plot.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// ComputeQuartiles sorts a copy of xs and extracts the box-plot
+// statistics.
+func ComputeQuartiles(xs []float64) Quartiles {
+	if len(xs) == 0 {
+		return Quartiles{}
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	at := func(q float64) float64 {
+		pos := q * float64(len(s)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return Quartiles{Min: s[0], Q1: at(0.25), Median: at(0.5), Q3: at(0.75), Max: s[len(s)-1]}
+}
+
+// ActivityForPPA re-exports sim.Activity for callers assembling custom
+// PPA studies.
+func ActivityForPPA(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) {
+	return sim.Activity(c, patterns, seed)
+}

@@ -1,0 +1,220 @@
+// Package flow orchestrates the paper's end-to-end physical design
+// framework (Fig. 3):
+//
+// Synthesis stage: hierarchical partitioning → stuck-at fault /
+// failing-pattern enumeration → cost-driven re-synthesis of the
+// fault-injected circuit → restore circuitry insertion (key-gates +
+// TIE cells, dont_touch) → LEC against the original (reject loop).
+//
+// Layout stage: randomize-and-fix TIE cells → placement with TIE cells
+// detached → routing with key-nets lifted above the split layer through
+// stacked vias (ECO route) → split into FEOL and BEOL.
+//
+// The experiment runners in experiments.go drive this flow to
+// regenerate every table and figure of Sec. IV.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/lec"
+	"repro/internal/locking"
+	"repro/internal/metrics"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/split"
+)
+
+// Config selects flow parameters.
+type Config struct {
+	// KeyBits is the key size (the paper uses 128).
+	KeyBits int
+	// SplitLayer is the first BEOL layer (4 or 6 in the paper).
+	SplitLayer int
+	// Seed makes the whole flow reproducible.
+	Seed uint64
+	// Utilization is the placement density target.
+	Utilization float64
+	// UseATPGLock selects the cost-driven fault-injection scheme
+	// (true, the paper's choice) or plain random locking.
+	UseATPGLock bool
+	// LECGateLimit bounds the size at which full SAT-based LEC runs;
+	// larger designs are verified with heavy random simulation (the
+	// construction is exact; LEC is the Fig. 3 safety net). 0 means
+	// 4000 gates.
+	LECGateLimit int
+	// PlacePasses overrides placement improvement passes (0 = default).
+	PlacePasses int
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyBits <= 0 {
+		c.KeyBits = 128
+	}
+	if c.SplitLayer == 0 {
+		c.SplitLayer = 4
+	}
+	if c.Utilization <= 0 {
+		c.Utilization = 0.7
+	}
+	if c.LECGateLimit <= 0 {
+		c.LECGateLimit = 4000
+	}
+	return c
+}
+
+// Artifacts bundles everything the flow produces for one design.
+type Artifacts struct {
+	Config   Config
+	Original *netlist.Circuit
+	Locked   *locking.Locked
+	// LockReport is nil when random locking was used.
+	LockReport *locking.ATPGLockReport
+	Layout     *layout.Layout
+	Routes     *route.Result
+	View       *split.FEOLView
+	Secret     *split.Secret
+	// Runtime is the wall-clock time of the full flow.
+	Runtime time.Duration
+}
+
+// Run executes the complete secure flow on a design.
+func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	// --- Synthesis stage ---
+	var lk *locking.Locked
+	var rep *locking.ATPGLockReport
+	var err error
+	if cfg.UseATPGLock {
+		lk, rep, err = locking.ATPGLock(orig, locking.ATPGLockOptions{
+			KeyBits: cfg.KeyBits,
+			Seed:    cfg.Seed,
+		})
+	} else {
+		lk, err = locking.RandomLock(orig, locking.RandomLockOptions{
+			KeyBits: cfg.KeyBits,
+			Seed:    cfg.Seed,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("flow: locking: %w", err)
+	}
+	if err := verifyEquivalence(orig, lk.Circuit, cfg); err != nil {
+		return nil, err
+	}
+
+	// --- Layout stage ---
+	lay, err := place.Place(lk.Circuit, place.Options{
+		Seed:          cfg.Seed + 1,
+		Utilization:   cfg.Utilization,
+		RandomizeTies: true,
+		Passes:        cfg.PlacePasses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow: placement: %w", err)
+	}
+	routes, err := route.RouteAll(lay, route.Options{
+		SplitLayer:  cfg.SplitLayer,
+		LiftKeyNets: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow: routing: %w", err)
+	}
+	view, secret, err := split.Split(lay, routes)
+	if err != nil {
+		return nil, fmt.Errorf("flow: split: %w", err)
+	}
+
+	return &Artifacts{
+		Config:     cfg,
+		Original:   orig,
+		Locked:     lk,
+		LockReport: rep,
+		Layout:     lay,
+		Routes:     routes,
+		View:       view,
+		Secret:     secret,
+		Runtime:    time.Since(start),
+	}, nil
+}
+
+// verifyEquivalence is the Fig. 3 LEC step: full SAT-based equivalence
+// for small designs, heavy random simulation for large ones.
+func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) error {
+	if orig.NumGates() <= cfg.LECGateLimit {
+		res, err := lec.Check(orig, locked, lec.Options{Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("flow: LEC: %w", err)
+		}
+		if !res.Equivalent {
+			return fmt.Errorf("flow: LEC rejected the locked netlist (cex %v)", res.Counterexample)
+		}
+		return nil
+	}
+	eq, err := sim.Equivalent(orig, locked, 1<<16, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("flow: equivalence simulation: %w", err)
+	}
+	if !eq {
+		return fmt.Errorf("flow: locked netlist diverges from the original under simulation")
+	}
+	return nil
+}
+
+// LayoutVariant produces a placed-and-routed PPA measurement for one of
+// the Fig. 5 configurations.
+type LayoutVariant string
+
+// Fig. 5 configurations.
+const (
+	VariantBaseline LayoutVariant = "baseline" // unprotected original
+	VariantPrelift  LayoutVariant = "prelift"  // locked, key-nets not lifted
+	VariantSplit    LayoutVariant = "split"    // locked, key-nets lifted at cfg.SplitLayer
+)
+
+// MeasurePPA places, routes and evaluates one layout variant. For the
+// baseline the original netlist is used; the other variants take the
+// locked netlist from artifacts.
+func MeasurePPA(art *Artifacts, variant LayoutVariant) (metrics.PPA, error) {
+	cfg := art.Config
+	var c *netlist.Circuit
+	lift := false
+	switch variant {
+	case VariantBaseline:
+		c = art.Original
+	case VariantPrelift:
+		c = art.Locked.Circuit
+	case VariantSplit:
+		c = art.Locked.Circuit
+		lift = true
+	default:
+		return metrics.PPA{}, fmt.Errorf("flow: unknown variant %q", variant)
+	}
+	lay, err := place.Place(c, place.Options{
+		Seed:          cfg.Seed + 1,
+		Utilization:   cfg.Utilization,
+		RandomizeTies: variant != VariantBaseline,
+		Passes:        cfg.PlacePasses,
+	})
+	if err != nil {
+		return metrics.PPA{}, err
+	}
+	routes, err := route.RouteAll(lay, route.Options{
+		SplitLayer:  cfg.SplitLayer,
+		LiftKeyNets: lift,
+	})
+	if err != nil {
+		return metrics.PPA{}, err
+	}
+	act, err := sim.Activity(c, 2048, cfg.Seed+2)
+	if err != nil {
+		return metrics.PPA{}, err
+	}
+	return metrics.EvaluatePPA(lay, routes, act)
+}

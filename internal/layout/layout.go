@@ -1,0 +1,259 @@
+// Package layout defines the physical-design geometry shared by the
+// placement, routing, splitting and attack stages: the die grid, cell
+// positions, the metal layer stack, and wire/via primitives.
+//
+// The fabric is deliberately simplified relative to a commercial flow —
+// every cell occupies one grid slot and routes are L-shapes on layer
+// pairs — but it preserves exactly the properties proximity attacks
+// consume: to-be-connected cells are placed close together, long nets
+// ascend to high metal layers, and via stacks anchor broken nets at
+// observable coordinates.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+)
+
+// NumLayers is the height of the metal stack (M1..M10, 45 nm-class).
+const NumLayers = 10
+
+// Point is a grid coordinate: X in placement sites, Y in rows.
+type Point struct{ X, Y int }
+
+// Dist returns the Manhattan distance between two points.
+func (p Point) Dist(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Direction is a coarse routing direction hint (the orientation of the
+// last FEOL wire segment before a net ascends above the split layer).
+type Direction uint8
+
+// Direction values. DirNone marks stubs with no FEOL routing at all —
+// the stacked-via signature of lifted key-nets.
+const (
+	DirNone Direction = iota
+	DirEast
+	DirWest
+	DirNorth
+	DirSouth
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case DirEast:
+		return "E"
+	case DirWest:
+		return "W"
+	case DirNorth:
+		return "N"
+	case DirSouth:
+		return "S"
+	}
+	return "·"
+}
+
+// Toward returns the coarse direction from p toward q (preferring the
+// axis with the larger delta).
+func Toward(p, q Point) Direction {
+	dx, dy := q.X-p.X, q.Y-p.Y
+	if dx == 0 && dy == 0 {
+		return DirNone
+	}
+	if abs(dx) >= abs(dy) {
+		if dx > 0 {
+			return DirEast
+		}
+		return DirWest
+	}
+	if dy > 0 {
+		return DirNorth
+	}
+	return DirSouth
+}
+
+// Cell is one placed instance.
+type Cell struct {
+	Gate   netlist.GateID
+	Pos    Point
+	Fixed  bool // TIE cells are randomized then fixed (Fig. 3)
+	Placed bool
+	Pad    bool // I/O pseudo-gates sit on the die boundary
+}
+
+// Layout is a placed design.
+type Layout struct {
+	Circuit *netlist.Circuit
+	// W and H are the die dimensions in sites/rows.
+	W, H int
+	// Cells is indexed by GateID.
+	Cells []Cell
+	// Utilization is the placement density target used to size the die.
+	Utilization float64
+	// occ maps grid slots to the occupying gate (or InvalidGate).
+	occ []netlist.GateID
+}
+
+// NewLayout allocates an empty layout with the given die size.
+func NewLayout(c *netlist.Circuit, w, h int, utilization float64) *Layout {
+	l := &Layout{
+		Circuit:     c,
+		W:           w,
+		H:           h,
+		Cells:       make([]Cell, c.NumIDs()),
+		Utilization: utilization,
+		occ:         make([]netlist.GateID, w*h),
+	}
+	for i := range l.Cells {
+		l.Cells[i].Gate = netlist.GateID(i)
+	}
+	for i := range l.occ {
+		l.occ[i] = netlist.InvalidGate
+	}
+	return l
+}
+
+// At returns the gate occupying the slot, or InvalidGate.
+func (l *Layout) At(p Point) netlist.GateID {
+	if p.X < 0 || p.X >= l.W || p.Y < 0 || p.Y >= l.H {
+		return netlist.InvalidGate
+	}
+	return l.occ[p.Y*l.W+p.X]
+}
+
+// Place puts a gate at p. The slot must be free and the gate unplaced
+// (pads bypass the occupancy grid and may share boundary coordinates).
+func (l *Layout) Place(id netlist.GateID, p Point, pad bool) error {
+	c := &l.Cells[id]
+	if c.Placed {
+		return fmt.Errorf("layout: gate %d placed twice", id)
+	}
+	if !pad {
+		if p.X < 0 || p.X >= l.W || p.Y < 0 || p.Y >= l.H {
+			return fmt.Errorf("layout: position %v outside %dx%d die", p, l.W, l.H)
+		}
+		if l.occ[p.Y*l.W+p.X] != netlist.InvalidGate {
+			return fmt.Errorf("layout: slot %v occupied", p)
+		}
+		l.occ[p.Y*l.W+p.X] = id
+	}
+	c.Pos = p
+	c.Placed = true
+	c.Pad = pad
+	return nil
+}
+
+// Move relocates a placed, non-fixed cell to a free slot.
+func (l *Layout) Move(id netlist.GateID, p Point) error {
+	c := &l.Cells[id]
+	if !c.Placed || c.Pad {
+		return fmt.Errorf("layout: gate %d not movable", id)
+	}
+	if c.Fixed {
+		return fmt.Errorf("layout: gate %d is fixed", id)
+	}
+	if p.X < 0 || p.X >= l.W || p.Y < 0 || p.Y >= l.H {
+		return fmt.Errorf("layout: position %v outside die", p)
+	}
+	if l.occ[p.Y*l.W+p.X] != netlist.InvalidGate {
+		return fmt.Errorf("layout: slot %v occupied", p)
+	}
+	l.occ[c.Pos.Y*l.W+c.Pos.X] = netlist.InvalidGate
+	l.occ[p.Y*l.W+p.X] = id
+	c.Pos = p
+	return nil
+}
+
+// Swap exchanges the positions of two placed, movable cells.
+func (l *Layout) Swap(a, b netlist.GateID) error {
+	ca, cb := &l.Cells[a], &l.Cells[b]
+	if !ca.Placed || !cb.Placed || ca.Fixed || cb.Fixed || ca.Pad || cb.Pad {
+		return fmt.Errorf("layout: cannot swap %d and %d", a, b)
+	}
+	l.occ[ca.Pos.Y*l.W+ca.Pos.X] = b
+	l.occ[cb.Pos.Y*l.W+cb.Pos.X] = a
+	ca.Pos, cb.Pos = cb.Pos, ca.Pos
+	return nil
+}
+
+// Pos returns a placed gate's position.
+func (l *Layout) Pos(id netlist.GateID) Point { return l.Cells[id].Pos }
+
+// NetHPWL returns the half-perimeter wirelength of the net driven by
+// id (driver plus all sink positions), in grid units.
+func (l *Layout) NetHPWL(id netlist.GateID) int {
+	if !l.Cells[id].Placed {
+		return 0
+	}
+	p := l.Cells[id].Pos
+	minX, maxX, minY, maxY := p.X, p.X, p.Y, p.Y
+	for _, s := range l.Circuit.Fanouts(id) {
+		if !l.Cells[s].Placed {
+			continue
+		}
+		q := l.Cells[s].Pos
+		if q.X < minX {
+			minX = q.X
+		}
+		if q.X > maxX {
+			maxX = q.X
+		}
+		if q.Y < minY {
+			minY = q.Y
+		}
+		if q.Y > maxY {
+			maxY = q.Y
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// TotalHPWL sums NetHPWL over all live nets.
+func (l *Layout) TotalHPWL() int {
+	total := 0
+	for i := 0; i < l.Circuit.NumIDs(); i++ {
+		id := netlist.GateID(i)
+		if l.Circuit.Alive(id) {
+			total += l.NetHPWL(id)
+		}
+	}
+	return total
+}
+
+// DieAreaUM2 returns the die outline area in um^2: the paper reports
+// area as die outline after reducing utilization as needed, so the
+// outline is total cell area divided by the utilization target.
+func (l *Layout) DieAreaUM2() float64 {
+	return cellib.Area(l.Circuit) / l.Utilization
+}
+
+// PitchUM returns the physical length of one grid unit in um,
+// calibrated so the grid covers the die outline.
+func (l *Layout) PitchUM() float64 {
+	if l.W == 0 {
+		return cellib.SiteWidth
+	}
+	die := l.DieAreaUM2()
+	slots := float64(l.W * l.H)
+	if slots == 0 || die <= 0 {
+		return cellib.SiteWidth
+	}
+	// Each slot covers die/slots um^2; pitch is its side length.
+	side := die / slots
+	if side <= 0 {
+		return cellib.SiteWidth
+	}
+	return math.Sqrt(side)
+}

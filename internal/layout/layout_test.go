@@ -1,0 +1,136 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func smallCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("l")
+	a := c.MustAdd("a", netlist.Input)
+	b := c.MustAdd("b", netlist.Input)
+	g1 := c.MustAdd("g1", netlist.And, a, b)
+	g2 := c.MustAdd("g2", netlist.Not, g1)
+	c.MustAdd("o", netlist.Output, g2)
+	return c
+}
+
+func TestDistProperty(t *testing.T) {
+	f := func(x1, y1, x2, y2 int16) bool {
+		p := Point{int(x1), int(y1)}
+		q := Point{int(x2), int(y2)}
+		d := p.Dist(q)
+		// Symmetry, identity, non-negativity.
+		return d == q.Dist(p) && d >= 0 && (d == 0) == (p == q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTowardDirections(t *testing.T) {
+	o := Point{0, 0}
+	cases := []struct {
+		q    Point
+		want Direction
+	}{
+		{Point{5, 1}, DirEast},
+		{Point{-5, 1}, DirWest},
+		{Point{1, 5}, DirNorth},
+		{Point{1, -5}, DirSouth},
+		{Point{0, 0}, DirNone},
+	}
+	for _, tc := range cases {
+		if got := Toward(o, tc.q); got != tc.want {
+			t.Errorf("Toward(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if DirEast.String() != "E" || DirNone.String() != "·" {
+		t.Error("direction names wrong")
+	}
+}
+
+func TestPlaceMoveSwap(t *testing.T) {
+	c := smallCircuit(t)
+	lay := NewLayout(c, 4, 4, 0.7)
+	g1, g2 := c.GateByName("g1"), c.GateByName("g2")
+	if err := lay.Place(g1, Point{0, 0}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Place(g2, Point{1, 0}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Place(g1, Point{2, 2}, false); err == nil {
+		t.Fatal("double placement accepted")
+	}
+	if err := lay.Place(c.GateByName("a"), Point{0, 0}, true); err != nil {
+		t.Fatal("pad placement on occupied coordinate must be allowed")
+	}
+	if lay.At(Point{0, 0}) != g1 {
+		t.Fatal("occupancy wrong")
+	}
+	if err := lay.Move(g1, Point{1, 0}); err == nil {
+		t.Fatal("move onto occupied slot accepted")
+	}
+	if err := lay.Move(g1, Point{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if lay.At(Point{0, 0}) != netlist.InvalidGate || lay.At(Point{3, 3}) != g1 {
+		t.Fatal("move did not update occupancy")
+	}
+	if err := lay.Swap(g1, g2); err != nil {
+		t.Fatal(err)
+	}
+	if lay.Pos(g1) != (Point{1, 0}) || lay.Pos(g2) != (Point{3, 3}) {
+		t.Fatal("swap positions wrong")
+	}
+	lay.Cells[g1].Fixed = true
+	if err := lay.Move(g1, Point{0, 1}); err == nil {
+		t.Fatal("moved a fixed cell")
+	}
+	if err := lay.Place(g2, Point{9, 9}, false); err == nil {
+		t.Fatal("out-of-die placement accepted")
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	c := smallCircuit(t)
+	lay := NewLayout(c, 8, 8, 0.7)
+	ids := []netlist.GateID{c.GateByName("a"), c.GateByName("b"), c.GateByName("g1"), c.GateByName("g2"), c.GateByName("o")}
+	pts := []Point{{0, 0}, {0, 4}, {3, 2}, {6, 2}, {7, 7}}
+	for i, id := range ids {
+		if err := lay.Place(id, pts[i], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Net a: sinks {g1}: bbox (0,0)-(3,2) → 5.
+	if got := lay.NetHPWL(c.GateByName("a")); got != 5 {
+		t.Errorf("HPWL(a) = %d, want 5", got)
+	}
+	// Net g1: driver (3,2), sink g2 (6,2) → 3.
+	if got := lay.NetHPWL(c.GateByName("g1")); got != 3 {
+		t.Errorf("HPWL(g1) = %d, want 3", got)
+	}
+	if lay.TotalHPWL() <= 0 {
+		t.Error("total HPWL not positive")
+	}
+}
+
+func TestDieAreaAndPitch(t *testing.T) {
+	c := smallCircuit(t)
+	lay := NewLayout(c, 10, 10, 0.5)
+	if lay.DieAreaUM2() <= 0 {
+		t.Fatal("die area not positive")
+	}
+	if lay.PitchUM() <= 0 {
+		t.Fatal("pitch not positive")
+	}
+	// Halving utilization doubles the outline.
+	tight := NewLayout(c, 10, 10, 1.0)
+	if lay.DieAreaUM2() <= tight.DieAreaUM2() {
+		t.Fatal("lower utilization must enlarge the die outline")
+	}
+}

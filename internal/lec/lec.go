@@ -1,0 +1,364 @@
+// Package lec implements combinational logic equivalence checking, the
+// reproduction's substitute for Cadence Conformal LEC in the Fig. 3
+// flow (the locked netlist must be formally equivalent to the original
+// under the correct key; non-equivalent locking attempts are rejected).
+//
+// The checker builds a miter over a Tseitin encoding of both circuits
+// and decides it with the internal CDCL SAT solver. A bit-parallel
+// random-simulation prefilter catches most non-equivalences cheaply.
+// Sequential designs are checked combinationally with flip-flops
+// matched by name (register correspondence), the standard approach.
+package lec
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/sim"
+)
+
+// Result reports the outcome of an equivalence check.
+type Result struct {
+	// Equivalent is true when the circuits implement the same function
+	// for every input (and state) assignment.
+	Equivalent bool
+	// Counterexample, for non-equivalent circuits, assigns input (and
+	// flip-flop) names to values that distinguish the circuits. It is
+	// nil when the prefilter found the mismatch.
+	Counterexample map[string]bool
+	// UsedSAT is true when the SAT solver ran (the prefilter did not
+	// decide).
+	UsedSAT bool
+}
+
+// Options tunes the checker.
+type Options struct {
+	// PrefilterPatterns is the number of random patterns simulated
+	// before invoking SAT. 0 uses a default of 8192; negative disables
+	// the prefilter.
+	PrefilterPatterns int
+	// Seed drives the prefilter stimulus.
+	Seed uint64
+}
+
+// Check decides whether circuits a and b are functionally equivalent.
+// Inputs and flip-flops are matched by name; output pairs by position.
+func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
+	if len(a.Outputs()) != len(b.Outputs()) {
+		return Result{}, fmt.Errorf("lec: output count mismatch %d vs %d", len(a.Outputs()), len(b.Outputs()))
+	}
+	patterns := opt.PrefilterPatterns
+	if patterns == 0 {
+		patterns = 8192
+	}
+	if patterns > 0 {
+		eq, err := sim.Equivalent(a, b, patterns, opt.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		if !eq {
+			return Result{Equivalent: false}, nil
+		}
+	}
+
+	s := sat.New()
+	sigTable := make(map[uint64]int)
+	enc := NewEncoder(s)
+	enc.ShareStructure(sigTable)
+	varsA, err := enc.Encode(a)
+	if err != nil {
+		return Result{}, err
+	}
+	// Share input and flip-flop variables by name; structurally
+	// identical internal cones additionally share through sigTable.
+	shared := make(map[string]int)
+	for _, id := range a.Inputs() {
+		shared[a.Gate(id).Name] = varsA[id]
+	}
+	for _, id := range a.DFFs() {
+		shared[a.Gate(id).Name] = varsA[id]
+	}
+	enc2 := NewEncoder(s)
+	enc2.Bind(b, shared)
+	enc2.ShareStructure(sigTable)
+	varsB, err := enc2.Encode(b)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Collect observable pairs: outputs by position, next-state
+	// functions by flip-flop name.
+	type pair struct{ va, vb int }
+	var pairs []pair
+	for i, oa := range a.Outputs() {
+		ob := b.Outputs()[i]
+		pairs = append(pairs, pair{varsA[a.Gate(oa).Fanin[0]], varsB[b.Gate(ob).Fanin[0]]})
+	}
+	ffB := make(map[string]netlist.GateID)
+	for _, id := range b.DFFs() {
+		ffB[b.Gate(id).Name] = id
+	}
+	for _, fa := range a.DFFs() {
+		name := a.Gate(fa).Name
+		fb, ok := ffB[name]
+		if !ok {
+			return Result{}, fmt.Errorf("lec: flip-flop %q missing in %s", name, b.Name)
+		}
+		pairs = append(pairs, pair{varsA[a.Gate(fa).Fanin[0]], varsB[b.Gate(fb).Fanin[0]]})
+	}
+
+	// Check observables one at a time (incremental, activation-literal
+	// style): refuting a single-output difference is far easier than a
+	// monolithic miter, learnt clauses carry over between pairs, and
+	// structurally shared outputs need no SAT at all.
+	for _, p := range pairs {
+		if p.va == p.vb {
+			continue // identical structure ⇒ identical function
+		}
+		act := s.NewVar()
+		d := s.NewVar()
+		// d ↔ va ⊕ vb
+		s.AddClause(-d, p.va, p.vb)
+		s.AddClause(-d, -p.va, -p.vb)
+		s.AddClause(d, -p.va, p.vb)
+		s.AddClause(d, p.va, -p.vb)
+		s.AddClause(-act, d)
+		switch s.Solve(act) {
+		case sat.Sat:
+			cex := make(map[string]bool)
+			for _, id := range a.Inputs() {
+				cex[a.Gate(id).Name] = s.Value(varsA[id])
+			}
+			for _, id := range a.DFFs() {
+				cex[a.Gate(id).Name] = s.Value(varsA[id])
+			}
+			return Result{Equivalent: false, Counterexample: cex, UsedSAT: true}, nil
+		case sat.Unsat:
+			// This observable is equivalent; permanently disable its
+			// activation literal and move on.
+			s.AddClause(-act)
+		default:
+			return Result{}, fmt.Errorf("lec: solver returned unknown")
+		}
+	}
+	return Result{Equivalent: true, UsedSAT: true}, nil
+}
+
+// Encoder Tseitin-encodes circuits into a shared SAT instance. It is
+// also used by the oracle-guided SAT attack demonstration.
+type Encoder struct {
+	s     *sat.Solver
+	bound map[string]int // gate name -> pre-assigned variable
+	// sigs, when non-nil, maps structural signatures to existing SAT
+	// variables: gates with identical structure over identically-named
+	// sources share one variable instead of re-encoding. This is the
+	// internal-equivalence sharing that keeps locked-vs-original
+	// miters small (only the re-synthesized cones differ).
+	sigs map[uint64]int
+}
+
+// NewEncoder returns an encoder adding clauses to s.
+func NewEncoder(s *sat.Solver) *Encoder {
+	return &Encoder{s: s}
+}
+
+// Bind forces the named gates of the next Encode call to use the given
+// existing solver variables (for sharing inputs across circuits).
+func (e *Encoder) Bind(c *netlist.Circuit, vars map[string]int) {
+	e.bound = vars
+}
+
+// ShareStructure enables structural sharing against the given
+// signature table (pass the same table to both encoders of a miter).
+// Sharing relies on 64-bit FNV signatures; a collision could mask a
+// real difference with probability ~2^-64 per gate pair.
+func (e *Encoder) ShareStructure(table map[uint64]int) {
+	e.sigs = table
+}
+
+// Encode adds the circuit's consistency clauses and returns the
+// variable of every live net.
+func (e *Encoder) Encode(c *netlist.Circuit) (map[netlist.GateID]int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := e.s
+	vars := make(map[netlist.GateID]int, len(order))
+	varOf := func(id netlist.GateID) int { return vars[id] }
+	var gateSigs map[netlist.GateID]uint64
+	if e.sigs != nil {
+		gateSigs = make(map[netlist.GateID]uint64, len(order))
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		var sig uint64
+		if e.sigs != nil {
+			sig = signature(c, id, gateSigs)
+			gateSigs[id] = sig
+		}
+		if v, ok := e.bound[g.Name]; ok {
+			vars[id] = v
+			if e.sigs != nil {
+				e.sigs[sig] = v
+			}
+			continue
+		}
+		if e.sigs != nil {
+			if v, ok := e.sigs[sig]; ok {
+				vars[id] = v
+				continue
+			}
+		}
+		v := s.NewVar()
+		vars[id] = v
+		if e.sigs != nil {
+			e.sigs[sig] = v
+		}
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			// Free variable.
+		case netlist.TieHi:
+			s.AddClause(v)
+		case netlist.TieLo:
+			s.AddClause(-v)
+		case netlist.Buf, netlist.Output:
+			a := varOf(g.Fanin[0])
+			s.AddClause(-v, a)
+			s.AddClause(v, -a)
+		case netlist.Not:
+			a := varOf(g.Fanin[0])
+			s.AddClause(-v, -a)
+			s.AddClause(v, a)
+		case netlist.And:
+			e.encodeAnd(v, g.Fanin, varOf, false)
+		case netlist.Nand:
+			e.encodeAnd(v, g.Fanin, varOf, true)
+		case netlist.Or:
+			e.encodeOr(v, g.Fanin, varOf, false)
+		case netlist.Nor:
+			e.encodeOr(v, g.Fanin, varOf, true)
+		case netlist.Xor:
+			e.encodeXorChain(v, g.Fanin, varOf, false)
+		case netlist.Xnor:
+			e.encodeXorChain(v, g.Fanin, varOf, true)
+		case netlist.Mux:
+			sel, a, b := varOf(g.Fanin[0]), varOf(g.Fanin[1]), varOf(g.Fanin[2])
+			s.AddClause(sel, -a, v)
+			s.AddClause(sel, a, -v)
+			s.AddClause(-sel, -b, v)
+			s.AddClause(-sel, b, -v)
+			// Redundant but propagation-helpful:
+			s.AddClause(-a, -b, v)
+			s.AddClause(a, b, -v)
+		default:
+			return nil, fmt.Errorf("lec: cannot encode gate type %v", g.Type)
+		}
+	}
+	return vars, nil
+}
+
+func (e *Encoder) encodeAnd(v int, fanin []netlist.GateID, varOf func(netlist.GateID) int, negate bool) {
+	s := e.s
+	out := v
+	if negate {
+		// out = ¬t where t = AND(...): encode on inverted literal.
+		out = -v
+	}
+	long := make([]int, 0, len(fanin)+1)
+	for _, f := range fanin {
+		a := varOf(f)
+		s.AddClause(-out, a) // out → a
+		long = append(long, -a)
+	}
+	long = append(long, out) // all a → out
+	s.AddClause(long...)
+}
+
+func (e *Encoder) encodeOr(v int, fanin []netlist.GateID, varOf func(netlist.GateID) int, negate bool) {
+	s := e.s
+	out := v
+	if negate {
+		out = -v
+	}
+	long := make([]int, 0, len(fanin)+1)
+	for _, f := range fanin {
+		a := varOf(f)
+		s.AddClause(out, -a) // a → out
+		long = append(long, a)
+	}
+	long = append(long, -out) // out → some a
+	s.AddClause(long...)
+}
+
+func (e *Encoder) encodeXorChain(v int, fanin []netlist.GateID, varOf func(netlist.GateID) int, negate bool) {
+	s := e.s
+	acc := varOf(fanin[0])
+	for i := 1; i < len(fanin); i++ {
+		b := varOf(fanin[i])
+		var t int
+		if i == len(fanin)-1 {
+			t = v
+			if negate {
+				// Encode v ↔ ¬(acc ⊕ b) by flipping the output sign.
+				e.xorClauses(-t, acc, b)
+				return
+			}
+		} else {
+			t = s.NewVar()
+		}
+		e.xorClauses(t, acc, b)
+		acc = t
+	}
+	if len(fanin) == 1 { // degenerate, not produced by netlist arity rules
+		s.AddClause(-v, varOf(fanin[0]))
+		s.AddClause(v, -varOf(fanin[0]))
+	}
+}
+
+// signature computes a structural hash of the gate: sources hash their
+// name (so identically-named inputs/flip-flops match across circuits),
+// TIE cells hash their constant, and logic gates hash their type over
+// their fanin signatures in pin order.
+func signature(c *netlist.Circuit, id netlist.GateID, sigs map[netlist.GateID]uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	g := c.Gate(id)
+	switch g.Type {
+	case netlist.Input, netlist.DFF:
+		mix(uint64(g.Type) + 101)
+		for _, b := range []byte(g.Name) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		return h
+	case netlist.TieHi, netlist.TieLo:
+		mix(uint64(g.Type) + 201)
+		return h
+	}
+	mix(uint64(g.Type) + 1)
+	for _, f := range g.Fanin {
+		mix(sigs[f])
+	}
+	return h
+}
+
+// xorClauses encodes t ↔ a ⊕ b. t may be a negative literal.
+func (e *Encoder) xorClauses(t, a, b int) {
+	s := e.s
+	s.AddClause(-t, a, b)
+	s.AddClause(-t, -a, -b)
+	s.AddClause(t, -a, b)
+	s.AddClause(t, a, -b)
+}

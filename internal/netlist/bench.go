@@ -1,0 +1,246 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS/ITC .bench format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(z)
+//	z = NAND(a, b)
+//	q = DFF(d)
+//	one = TIEHI
+//
+// Signals may be referenced before their defining line. An OUTPUT(x)
+// declaration creates an Output pseudo-gate named x_out driven by x
+// unless x is itself only an output name, in which case the driver line
+// "x = ..." defines the driven net.
+func ParseBench(r io.Reader, name string) (*Circuit, error) {
+	type def struct {
+		name   string
+		typ    GateType
+		fanins []string
+		line   int
+	}
+	var (
+		defs        []def
+		inputNames  []string
+		outputNames []string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") && strings.HasSuffix(line, ")"):
+			inputNames = append(inputNames, strings.TrimSpace(line[6:len(line)-1]))
+		case strings.HasPrefix(line, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			outputNames = append(outputNames, strings.TrimSpace(line[7:len(line)-1]))
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench:%d: malformed line %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			var typName, args string
+			if op := strings.IndexByte(rhs, '('); op >= 0 {
+				if !strings.HasSuffix(rhs, ")") {
+					return nil, fmt.Errorf("bench:%d: missing ')' in %q", lineNo, line)
+				}
+				typName = strings.ToUpper(strings.TrimSpace(rhs[:op]))
+				args = rhs[op+1 : len(rhs)-1]
+			} else {
+				typName = strings.ToUpper(rhs) // e.g. "x = TIEHI"
+			}
+			t, ok := ParseGateType(typName)
+			if !ok || t == Input || t == Output {
+				return nil, fmt.Errorf("bench:%d: unknown gate type %q", lineNo, typName)
+			}
+			var fanins []string
+			for _, a := range strings.Split(args, ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					fanins = append(fanins, a)
+				}
+			}
+			defs = append(defs, def{lhs, t, fanins, lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	c := New(name)
+	ids := make(map[string]GateID)
+	for _, in := range inputNames {
+		id, err := c.AddInput(in)
+		if err != nil {
+			return nil, err
+		}
+		ids[in] = id
+	}
+	// Definitions may be out of order; resolve by repeated passes.
+	pending := defs
+	for len(pending) > 0 {
+		var next []def
+		progressed := false
+		for _, d := range pending {
+			ready := true
+			fan := make([]GateID, len(d.fanins))
+			for i, f := range d.fanins {
+				id, ok := ids[f]
+				if !ok {
+					ready = false
+					break
+				}
+				fan[i] = id
+			}
+			if !ready {
+				next = append(next, d)
+				continue
+			}
+			id, err := c.AddGate(d.name, d.typ, fan...)
+			if err != nil {
+				return nil, fmt.Errorf("bench:%d: %v", d.line, err)
+			}
+			ids[d.name] = id
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("bench: unresolved signals (cycle or missing definition), e.g. line %d gate %q", next[0].line, next[0].name)
+		}
+		pending = next
+	}
+	for _, out := range outputNames {
+		src, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) has no driver", out)
+		}
+		if _, err := c.AddOutput(out+"_po", src); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ParseBenchString is ParseBench over an in-memory string.
+func ParseBenchString(s, name string) (*Circuit, error) {
+	return ParseBench(strings.NewReader(s), name)
+}
+
+// WriteBench emits the circuit in .bench format. Output pseudo-gates
+// are written as OUTPUT declarations of their driver nets; the _po
+// suffix added by ParseBench is stripped when present.
+func (c *Circuit) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s — %d gates\n", c.Name, c.NumGates())
+	for _, in := range c.inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.gates[in].Name)
+	}
+	for _, out := range c.outputs {
+		g := &c.gates[out]
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.gates[g.Fanin[0]].Name)
+	}
+	// Emit definitions in a stable topological order so the file is
+	// deterministic and human-traceable.
+	order, err := c.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := &c.gates[id]
+		switch g.Type {
+		case Input, Output:
+			continue
+		case TieHi, TieLo:
+			fmt.Fprintf(bw, "%s = %s\n", g.Name, g.Type)
+		default:
+			names := make([]string, len(g.Fanin))
+			for i, f := range g.Fanin {
+				names[i] = c.gates[f].Name
+			}
+			fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+		}
+	}
+	return bw.Flush()
+}
+
+// BenchString returns the .bench serialization of the circuit.
+func (c *Circuit) BenchString() string {
+	var sb strings.Builder
+	if err := c.WriteBench(&sb); err != nil {
+		return "# error: " + err.Error()
+	}
+	return sb.String()
+}
+
+// Stats summarizes a circuit's structural composition.
+type Stats struct {
+	Inputs, Outputs, DFFs, Ties int
+	Gates                       int // combinational cells excluding pseudo-gates and TIE cells
+	ByType                      map[GateType]int
+	MaxFanin, MaxFanout         int
+	Depth                       int
+}
+
+// ComputeStats gathers structural statistics for reporting.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{ByType: make(map[GateType]int)}
+	c.ensureFanouts()
+	for i := range c.gates {
+		g := &c.gates[i]
+		if g.dead {
+			continue
+		}
+		s.ByType[g.Type]++
+		if len(g.Fanin) > s.MaxFanin {
+			s.MaxFanin = len(g.Fanin)
+		}
+		if len(c.fanouts[i]) > s.MaxFanout {
+			s.MaxFanout = len(c.fanouts[i])
+		}
+		switch g.Type {
+		case Input:
+			s.Inputs++
+		case Output:
+			s.Outputs++
+		case DFF:
+			s.DFFs++
+		case TieHi, TieLo:
+			s.Ties++
+		default:
+			s.Gates++
+		}
+	}
+	if d, err := c.Depth(); err == nil {
+		s.Depth = d
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	types := make([]GateType, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "in=%d out=%d dff=%d tie=%d gates=%d depth=%d", s.Inputs, s.Outputs, s.DFFs, s.Ties, s.Gates, s.Depth)
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package netlist
+
+import "fmt"
+
+// Clone returns a deep copy of the circuit. Gate IDs are preserved.
+func (c *Circuit) Clone() *Circuit {
+	nc := &Circuit{
+		Name:    c.Name,
+		gates:   make([]Gate, len(c.gates)),
+		inputs:  append([]GateID(nil), c.inputs...),
+		outputs: append([]GateID(nil), c.outputs...),
+		byName:  make(map[string]GateID, len(c.byName)),
+	}
+	for i := range c.gates {
+		g := c.gates[i]
+		g.Fanin = append([]GateID(nil), g.Fanin...)
+		nc.gates[i] = g
+	}
+	for name, id := range c.byName {
+		nc.byName[name] = id
+	}
+	return nc
+}
+
+// ReplaceFanin rewires every pin of gate id that currently reads from
+// old so that it reads from new. It returns the number of pins changed.
+func (c *Circuit) ReplaceFanin(id, old, new GateID) int {
+	n := 0
+	for i, f := range c.gates[id].Fanin {
+		if f == old {
+			c.gates[id].Fanin[i] = new
+			n++
+		}
+	}
+	if n > 0 {
+		c.invalidate()
+	}
+	return n
+}
+
+// SetFanin rewires a single pin of gate id.
+func (c *Circuit) SetFanin(id GateID, pin int, driver GateID) error {
+	if pin < 0 || pin >= len(c.gates[id].Fanin) {
+		return fmt.Errorf("netlist: gate %q has no pin %d", c.gates[id].Name, pin)
+	}
+	c.gates[id].Fanin[pin] = driver
+	c.invalidate()
+	return nil
+}
+
+// RewireNet redirects every sink of the net driven by old to read from
+// new instead. It returns the number of pins moved.
+func (c *Circuit) RewireNet(old, new GateID) int {
+	c.ensureFanouts()
+	moved := 0
+	for _, s := range append([]GateID(nil), c.fanouts[old]...) {
+		moved += c.ReplaceFanin(s, old, new)
+	}
+	return moved
+}
+
+// Kill marks a gate dead. Sinks still referencing it will fail
+// Validate; callers must rewire first. Inputs and outputs are removed
+// from the boundary lists.
+func (c *Circuit) Kill(id GateID) {
+	g := &c.gates[id]
+	if g.dead {
+		return
+	}
+	g.dead = true
+	delete(c.byName, g.Name)
+	switch g.Type {
+	case Input:
+		c.inputs = removeID(c.inputs, id)
+	case Output:
+		c.outputs = removeID(c.outputs, id)
+	}
+	c.invalidate()
+}
+
+func removeID(ids []GateID, id GateID) []GateID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SweepDead removes gates that cannot reach any primary output, either
+// combinationally or through flip-flops. Primary inputs and DontTouch
+// gates are always kept. It returns the number of gates removed.
+func (c *Circuit) SweepDead() int {
+	live := make([]bool, len(c.gates))
+	var stack []GateID
+	mark := func(id GateID) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range c.outputs {
+		mark(o)
+	}
+	for i := range c.gates {
+		if !c.gates[i].dead && (c.gates[i].Type == Input || c.gates[i].DontTouch) {
+			mark(GateID(i))
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.gates[id].Fanin {
+			mark(f)
+		}
+	}
+	removed := 0
+	for i := range c.gates {
+		if !c.gates[i].dead && !live[i] {
+			c.Kill(GateID(i))
+			removed++
+		}
+	}
+	return removed
+}
+
+// Compact rebuilds the circuit without dead slots and returns the
+// old-ID to new-ID mapping (dead gates map to InvalidGate).
+func (c *Circuit) Compact() []GateID {
+	remap := make([]GateID, len(c.gates))
+	gates := make([]Gate, 0, c.NumGates())
+	for i := range c.gates {
+		if c.gates[i].dead {
+			remap[i] = InvalidGate
+			continue
+		}
+		remap[i] = GateID(len(gates))
+		gates = append(gates, c.gates[i])
+	}
+	for i := range gates {
+		for p, f := range gates[i].Fanin {
+			gates[i].Fanin[p] = remap[f]
+		}
+	}
+	c.gates = gates
+	c.byName = make(map[string]GateID, len(gates))
+	for i := range gates {
+		c.byName[gates[i].Name] = GateID(i)
+	}
+	for i, id := range c.inputs {
+		c.inputs[i] = remap[id]
+	}
+	for i, id := range c.outputs {
+		c.outputs[i] = remap[id]
+	}
+	c.invalidate()
+	return remap
+}

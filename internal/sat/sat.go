@@ -1,0 +1,553 @@
+// Package sat implements a from-scratch CDCL SAT solver: two-literal
+// watching, VSIDS-style variable activity, first-UIP clause learning,
+// phase saving, and geometric restarts. It backs the logic equivalence
+// checker (the paper's Conformal LEC substitute) and the oracle-guided
+// SAT-attack demonstration.
+//
+// The public API uses DIMACS conventions: variables are positive
+// integers allocated by NewVar, a literal is +v or -v.
+package sat
+
+import "sort"
+
+// Status is the result of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+const noReason = -1
+
+type clause struct {
+	lits    []uint32
+	learnt  bool
+	deleted bool
+}
+
+// Solver holds one CNF instance. The zero value is not usable; call
+// New.
+type Solver struct {
+	clauses []clause
+	watches [][]int32 // literal -> clause indices watching it
+
+	assign   []int8 // var -> -1 unassigned / 0 false / 1 true
+	level    []int32
+	reason   []int32
+	polarity []int8 // saved phase
+	activity []float64
+	varInc   float64
+
+	trail    []uint32
+	trailLim []int
+	qhead    int
+
+	numLearnt  int
+	numProblem int // non-learnt clause count, sets the learnt cap
+
+	heap    []int32 // binary max-heap of vars by activity
+	heapPos []int32 // var -> heap index or -1
+
+	unsat bool // empty clause encountered during AddClause
+
+	// Stats counts solver work for reporting.
+	Stats struct {
+		Conflicts    int64
+		Decisions    int64
+		Propagations int64
+		Learnt       int64
+		Restarts     int64
+	}
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1.0}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable and returns its positive index
+// (1-based).
+func (s *Solver) NewVar() int {
+	s.assign = append(s.assign, -1)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.polarity = append(s.polarity, 0)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	v := int32(len(s.assign) - 1)
+	s.heapPos = append(s.heapPos, -1)
+	s.heapInsert(v)
+	return int(v) + 1
+}
+
+// intLit converts a DIMACS literal to the internal encoding
+// (var<<1 | neg).
+func intLit(l int) uint32 {
+	if l > 0 {
+		return uint32(l-1) << 1
+	}
+	return uint32(-l-1)<<1 | 1
+}
+
+func litVar(l uint32) int32 { return int32(l >> 1) }
+func litNeg(l uint32) bool  { return l&1 == 1 }
+
+// value returns the literal's current truth value: -1/0/1.
+func (s *Solver) value(l uint32) int8 {
+	a := s.assign[litVar(l)]
+	if a < 0 {
+		return -1
+	}
+	if litNeg(l) {
+		return 1 - a
+	}
+	return a
+}
+
+// AddClause adds a clause over DIMACS literals. Adding a clause after
+// solving is allowed only at decision level zero (the solver backtracks
+// automatically). An empty clause makes the instance trivially UNSAT.
+func (s *Solver) AddClause(lits ...int) {
+	s.cancelUntil(0)
+	// Deduplicate and detect tautologies.
+	seen := make(map[int]bool, len(lits))
+	out := make([]uint32, 0, len(lits))
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		if seen[-l] {
+			return // tautology: x ∨ ¬x
+		}
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		il := intLit(l)
+		switch s.value(il) {
+		case 1:
+			return // already satisfied at level 0
+		case 0:
+			continue // falsified at level 0: drop literal
+		}
+		out = append(out, il)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		if !s.enqueue(out[0], noReason) {
+			s.unsat = true
+		} else if conf := s.propagate(); conf >= 0 {
+			s.unsat = true
+		}
+	default:
+		s.attachClause(out, false)
+	}
+}
+
+func (s *Solver) attachClause(lits []uint32, learnt bool) int32 {
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
+	s.watches[lits[0]^1] = append(s.watches[lits[0]^1], ci)
+	s.watches[lits[1]^1] = append(s.watches[lits[1]^1], ci)
+	if learnt {
+		s.numLearnt++
+	} else {
+		s.numProblem++
+	}
+	return ci
+}
+
+// reduceDB deletes roughly half of the learnt clauses (longest first)
+// when the learnt database outgrows the problem clauses, keeping any
+// clause that is currently the reason of an assignment. Deleted slots
+// stay in place (watch lists skip them); their literal storage is
+// released.
+func (s *Solver) reduceDB() {
+	cap := 2*s.numProblem + 10000
+	if s.numLearnt <= cap {
+		return
+	}
+	isReason := make(map[int32]bool, len(s.trail))
+	for _, l := range s.trail {
+		if r := s.reason[litVar(l)]; r >= 0 {
+			isReason[r] = true
+		}
+	}
+	var learnt []int32
+	for ci := range s.clauses {
+		c := &s.clauses[ci]
+		if c.learnt && !c.deleted && !isReason[int32(ci)] && len(c.lits) > 2 {
+			learnt = append(learnt, int32(ci))
+		}
+	}
+	// Longest clauses are the least useful; delete the longer half.
+	sort.Slice(learnt, func(i, j int) bool {
+		return len(s.clauses[learnt[i]].lits) > len(s.clauses[learnt[j]].lits)
+	})
+	for _, ci := range learnt[:len(learnt)/2] {
+		c := &s.clauses[ci]
+		c.deleted = true
+		c.lits = nil
+		s.numLearnt--
+	}
+}
+
+// enqueue assigns literal l true with the given reason clause.
+// It returns false on conflict with an existing assignment.
+func (s *Solver) enqueue(l uint32, from int32) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case 0:
+		return false
+	}
+	v := litVar(l)
+	if litNeg(l) {
+		s.assign[v] = 0
+	} else {
+		s.assign[v] = 1
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns the index of a
+// conflicting clause or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			c := &s.clauses[ci]
+			if c.deleted {
+				continue
+			}
+			// Normalize so that c.lits[1] is the watched literal ¬p.
+			if c.lits[0]^1 == p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == 1 {
+				ws[j] = ci
+				j++
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != 0 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]^1] = append(s.watches[c.lits[1]^1], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watch moved; drop from this list
+			}
+			// Clause is unit or conflicting.
+			ws[j] = ci
+			j++
+			if !s.enqueue(c.lits[0], ci) {
+				// Conflict: keep remaining watches and report.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return ci
+			}
+		}
+		s.watches[p] = ws[:j]
+	}
+	return -1
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := litVar(l)
+		if litNeg(l) {
+			s.polarity[v] = 0
+		} else {
+			s.polarity[v] = 1
+		}
+		s.assign[v] = -1
+		s.reason[v] = noReason
+		if s.heapPos[v] < 0 {
+			s.heapInsert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// analyze computes a 1-UIP learnt clause from a conflict and the level
+// to backtrack to.
+func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int) {
+	seen := make(map[int32]bool)
+	counter := 0
+	var p uint32
+	pSet := false
+	learnt = append(learnt, 0) // slot for the asserting literal
+	idx := len(s.trail) - 1
+	for {
+		c := &s.clauses[confl]
+		for k := 0; k < len(c.lits); k++ {
+			q := c.lits[k]
+			if pSet && q == p {
+				continue
+			}
+			v := litVar(q)
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on the trail to resolve on.
+		for {
+			p = s.trail[idx]
+			idx--
+			if seen[litVar(p)] {
+				break
+			}
+		}
+		pSet = true
+		counter--
+		seen[litVar(p)] = false
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[litVar(p)]
+	}
+	learnt[0] = p ^ 1
+	// Backtrack level: the highest level among the other literals.
+	backLvl = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[litVar(learnt[i])] > s.level[litVar(learnt[maxI])] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLvl = int(s.level[litVar(learnt[1])])
+	}
+	return learnt, backLvl
+}
+
+func (s *Solver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+// pickBranch returns the unassigned variable with highest activity, or
+// -1 when all variables are assigned.
+func (s *Solver) pickBranch() int32 {
+	for len(s.heap) > 0 {
+		v := s.heap[0]
+		s.heapRemoveTop()
+		if s.assign[v] < 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Solve runs the CDCL loop under the given DIMACS assumption literals.
+// Assumptions are applied as temporary level-0 decisions; the instance
+// itself is unchanged afterwards.
+func (s *Solver) Solve(assumptions ...int) Status {
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if conf := s.propagate(); conf >= 0 {
+		s.unsat = true
+		return Unsat
+	}
+	// Apply assumptions as decisions.
+	for _, a := range assumptions {
+		l := intLit(a)
+		switch s.value(l) {
+		case 1:
+			continue
+		case 0:
+			s.cancelUntil(0)
+			return Unsat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, noReason)
+		if conf := s.propagate(); conf >= 0 {
+			s.cancelUntil(0)
+			return Unsat
+		}
+	}
+	rootLevel := s.decisionLevel()
+
+	conflictLimit := int64(128)
+	conflicts := int64(0)
+	for {
+		conf := s.propagate()
+		if conf >= 0 {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == rootLevel {
+				s.cancelUntil(0)
+				if rootLevel == 0 {
+					s.unsat = true
+				}
+				return Unsat
+			}
+			learnt, backLvl := s.analyze(conf)
+			if backLvl < rootLevel {
+				backLvl = rootLevel
+			}
+			s.cancelUntil(backLvl)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], noReason) {
+					s.cancelUntil(0)
+					return Unsat
+				}
+			} else {
+				ci := s.attachClause(learnt, true)
+				s.Stats.Learnt++
+				s.enqueue(learnt[0], ci)
+			}
+			s.varInc /= 0.95
+			continue
+		}
+		if conflicts >= conflictLimit {
+			// Geometric restart; shrink the learnt database if it has
+			// outgrown its budget.
+			conflicts = 0
+			conflictLimit += conflictLimit / 2
+			s.Stats.Restarts++
+			s.cancelUntil(rootLevel)
+			s.reduceDB()
+			continue
+		}
+		v := s.pickBranch()
+		if v < 0 {
+			// All variables assigned: model found.
+			s.Stats.Decisions++
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		l := uint32(v) << 1
+		if s.polarity[v] == 0 {
+			l |= 1
+		}
+		s.enqueue(l, noReason)
+	}
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool {
+	return s.assign[v-1] == 1
+}
+
+// --- activity heap ---
+
+func (s *Solver) heapLess(a, b int32) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapInsert(v int32) {
+	s.heapPos[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(int32(len(s.heap) - 1))
+}
+
+func (s *Solver) heapUp(i int32) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heapPos[s.heap[i]] = i
+		i = p
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapRemoveTop() {
+	v := s.heap[0]
+	s.heapPos[v] = -1
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapPos[last] = 0
+		s.heapDown(0)
+	}
+}
+
+func (s *Solver) heapDown(i int32) {
+	v := s.heap[i]
+	n := int32(len(s.heap))
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}

@@ -1,0 +1,259 @@
+package sat
+
+import (
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("unit clause: %v", got)
+	}
+	if !s.Value(a) {
+		t.Fatal("unit literal not true in model")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("x ∧ ¬x: %v", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(a, -a, b)
+	s.AddClause(-b)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("tautology mishandled: %v", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	n := 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-vars[i], vars[i+1]) // v_i -> v_{i+1}
+	}
+	s.AddClause(vars[0])
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("chain: %v", got)
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("var %d not implied true", i)
+		}
+	}
+}
+
+// pigeonhole encodes n+1 pigeons into n holes (UNSAT), a classic
+// resolution-hard family that exercises clause learning.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		clause := make([]int, holes)
+		copy(clause, v[p])
+		s.AddClause(clause...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(-v[p1][h], -v[p2][h])
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 2; holes <= 6; holes++ {
+		s := New()
+		pigeonhole(s, holes+1, holes)
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): %v", holes+1, holes, got)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5): %v", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(-a, b) // a -> b
+	if got := s.Solve(a, -b); got != Unsat {
+		t.Fatalf("assumptions a ∧ ¬b with a→b: %v", got)
+	}
+	// Instance is untouched: still satisfiable overall and under a.
+	if got := s.Solve(a); got != Sat {
+		t.Fatalf("assumption a: %v", got)
+	}
+	if !s.Value(b) {
+		t.Fatal("b not implied under assumption a")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("no assumptions: %v", got)
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(a, b)
+	if s.Solve() != Sat {
+		t.Fatal("initial solve")
+	}
+	s.AddClause(-a)
+	if s.Solve() != Sat {
+		t.Fatal("after -a")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must hold")
+	}
+	s.AddClause(-b)
+	if s.Solve() != Unsat {
+		t.Fatal("after -a ∧ -b with a∨b")
+	}
+}
+
+// brute checks satisfiability of a small CNF by enumeration.
+func brute(numVars int, cnf [][]int) bool {
+	for m := 0; m < 1<<numVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := m>>(v-1)&1 == 1
+				if (l > 0) == val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver against
+// exhaustive enumeration on many small random instances.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for trial := 0; trial < 300; trial++ {
+		numVars := 4 + next(6)     // 4..9
+		numClauses := 3 + next(30) // 3..32
+		cnf := make([][]int, 0, numClauses)
+		for i := 0; i < numClauses; i++ {
+			cl := make([]int, 3)
+			for j := range cl {
+				v := 1 + next(numVars)
+				if next(2) == 1 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := brute(numVars, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cnf=%v", trial, got, want, cnf)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, ..., x_{n}⊕x_1 = 1 with odd n is UNSAT.
+	n := 9
+	s := New()
+	v := make([]int, n)
+	for i := range v {
+		v[i] = s.NewVar()
+	}
+	addXor1 := func(a, b int) { // a ⊕ b = 1
+		s.AddClause(a, b)
+		s.AddClause(-a, -b)
+	}
+	for i := 0; i < n; i++ {
+		addXor1(v[i], v[(i+1)%n])
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("odd xor cycle: %v", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 {
+		t.Fatalf("stats not collected: %+v", s.Stats)
+	}
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// DiffStats reports the output difference between two circuits over a
+// random pattern run, as used by Table II of the paper.
+type DiffStats struct {
+	// Patterns is the number of input patterns simulated.
+	Patterns int
+	// HD is the average Hamming distance between the observable
+	// outputs, as a fraction in [0,1] (the paper reports percent).
+	HD float64
+	// OER is the fraction of patterns for which at least one
+	// observable output differs.
+	OER float64
+}
+
+// CompareOptions tunes Compare.
+type CompareOptions struct {
+	// Patterns is the number of random patterns (rounded up to a
+	// multiple of 64). Defaults to 65536.
+	Patterns int
+	// Seed selects the stimulus stream.
+	Seed uint64
+	// ObserveState, when true, includes flip-flop next-state values as
+	// observables in addition to the primary outputs. Sequential
+	// designs are compared combinationally with randomized state, the
+	// standard practice for locking evaluations.
+	ObserveState bool
+}
+
+// Compare simulates circuits a and b under identical random stimulus
+// and reports HD and OER. Inputs and flip-flops are matched by name;
+// circuits whose boundaries differ are rejected.
+func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
+	if opt.Patterns <= 0 {
+		opt.Patterns = 65536
+	}
+	ea, err := NewEvaluator(a)
+	if err != nil {
+		return DiffStats{}, fmt.Errorf("sim: compiling %s: %w", a.Name, err)
+	}
+	eb, err := NewEvaluator(b)
+	if err != nil {
+		return DiffStats{}, fmt.Errorf("sim: compiling %s: %w", b.Name, err)
+	}
+	inMap, err := matchByName(a, b, a.Inputs(), b.Inputs(), "input")
+	if err != nil {
+		return DiffStats{}, err
+	}
+	stMap, err := matchByName(a, b, a.DFFs(), b.DFFs(), "flip-flop")
+	if err != nil {
+		return DiffStats{}, err
+	}
+	if len(a.Outputs()) != len(b.Outputs()) {
+		return DiffStats{}, fmt.Errorf("sim: output count mismatch: %d vs %d", len(a.Outputs()), len(b.Outputs()))
+	}
+
+	rng := NewRand(opt.Seed)
+	inA := make([]uint64, len(a.Inputs()))
+	inB := make([]uint64, len(b.Inputs()))
+	stA := make([]uint64, len(a.DFFs()))
+	stB := make([]uint64, len(b.DFFs()))
+	netsA := ea.NewNetBuffer()
+	netsB := eb.NewNetBuffer()
+	var outA, outB, nsA, nsB []uint64
+
+	words := (opt.Patterns + 63) / 64
+	totalPatterns := words * 64
+	obsBits := len(a.Outputs())
+	if opt.ObserveState {
+		obsBits += len(a.DFFs())
+	}
+	if obsBits == 0 {
+		return DiffStats{}, fmt.Errorf("sim: circuits have no observables")
+	}
+
+	var hdBits, errPatterns int
+	for w := 0; w < words; w++ {
+		rng.Fill(inA)
+		for i, j := range inMap {
+			inB[j] = inA[i]
+		}
+		rng.Fill(stA)
+		for i, j := range stMap {
+			stB[j] = stA[i]
+		}
+		ea.Eval(inA, stA, netsA)
+		eb.Eval(inB, stB, netsB)
+		outA = ea.OutputWords(netsA, outA)
+		outB = eb.OutputWords(netsB, outB)
+		var anyDiff uint64
+		for i := range outA {
+			d := outA[i] ^ outB[i]
+			hdBits += bits.OnesCount64(d)
+			anyDiff |= d
+		}
+		if opt.ObserveState {
+			nsA = ea.NextStateWords(netsA, nsA)
+			nsB = eb.NextStateWords(netsB, nsB)
+			for i, j := range stMap {
+				d := nsA[i] ^ nsB[j]
+				hdBits += bits.OnesCount64(d)
+				anyDiff |= d
+			}
+		}
+		errPatterns += bits.OnesCount64(anyDiff)
+	}
+	return DiffStats{
+		Patterns: totalPatterns,
+		HD:       float64(hdBits) / float64(totalPatterns*obsBits),
+		OER:      float64(errPatterns) / float64(totalPatterns),
+	}, nil
+}
+
+// Equivalent reports whether a and b agreed on every simulated pattern;
+// it is a cheap necessary condition used as an LEC prefilter.
+func Equivalent(a, b *netlist.Circuit, patterns int, seed uint64) (bool, error) {
+	d, err := Compare(a, b, CompareOptions{Patterns: patterns, Seed: seed, ObserveState: true})
+	if err != nil {
+		return false, err
+	}
+	return d.OER == 0, nil
+}
+
+// matchByName maps positions in as to positions in bs by gate name.
+func matchByName(a, b *netlist.Circuit, as, bs []netlist.GateID, kind string) ([]int, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("sim: %s count mismatch: %d vs %d", kind, len(as), len(bs))
+	}
+	pos := make(map[string]int, len(bs))
+	for j, id := range bs {
+		pos[b.Gate(id).Name] = j
+	}
+	m := make([]int, len(as))
+	for i, id := range as {
+		j, ok := pos[a.Gate(id).Name]
+		if !ok {
+			return nil, fmt.Errorf("sim: %s %q missing in %s", kind, a.Gate(id).Name, b.Name)
+		}
+		m[i] = j
+	}
+	return m, nil
+}
+
+// Activity estimates per-net switching activity (2·p·(1−p) with p the
+// signal probability) over random patterns. The result is indexed by
+// GateID and feeds the dynamic power model.
+func Activity(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) {
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	if patterns <= 0 {
+		patterns = 4096
+	}
+	words := (patterns + 63) / 64
+	rng := NewRand(seed)
+	in := make([]uint64, len(c.Inputs()))
+	st := make([]uint64, len(c.DFFs()))
+	nets := e.NewNetBuffer()
+	ones := make([]int, c.NumIDs())
+	for w := 0; w < words; w++ {
+		rng.Fill(in)
+		rng.Fill(st)
+		e.Eval(in, st, nets)
+		for i, v := range nets {
+			ones[i] += bits.OnesCount64(v)
+		}
+	}
+	total := float64(words * 64)
+	act := make([]float64, c.NumIDs())
+	for i, n := range ones {
+		if !c.Alive(netlist.GateID(i)) {
+			continue
+		}
+		p := float64(n) / total
+		act[i] = 2 * p * (1 - p)
+	}
+	return act, nil
+}
+
+// TruthTable evaluates the value of net target under all 2^n
+// assignments of the given support signals, overriding their simulated
+// values. The support size must be at most 16; the result has one bool
+// per assignment (minterm index encodes support values, bit i =
+// support[i]). All other sources are held at zero, which is sound
+// because target must depend only on the support (callers pass the
+// frontier of a bounded cone).
+func TruthTable(c *netlist.Circuit, target netlist.GateID, support []netlist.GateID) ([]bool, error) {
+	if len(support) > 16 {
+		return nil, fmt.Errorf("sim: truth table over %d supports", len(support))
+	}
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	n := len(support)
+	size := 1 << n
+	res := make([]bool, size)
+	in := make([]uint64, len(c.Inputs()))
+	st := make([]uint64, len(c.DFFs()))
+	nets := e.NewNetBuffer()
+	// Evaluate in 64-pattern chunks; support values are forced by
+	// overwriting the net buffer entries in topological order. Since
+	// support signals may be internal nets, we re-run evaluation with a
+	// hook: copy forced words after sources but before dependent gates.
+	// The simplest sound approach re-evaluates the full circuit with a
+	// modified evaluator; we instead evaluate cone-locally below.
+	cone := dependentCone(c, target, support)
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	// Base evaluation once (non-forced sources at zero); per chunk only
+	// the forced supports and the cone gates change.
+	e.Eval(in, st, nets)
+	forced := make([]uint64, n)
+	chunks := (size + 63) / 64
+	for ch := 0; ch < chunks; ch++ {
+		ExhaustiveWords(forced, n, ch)
+		for i, s := range support {
+			nets[s] = forced[i]
+		}
+		// Re-evaluate only gates strictly inside the cone.
+		for _, id := range order {
+			if !cone[id] || containsGate(support, id) {
+				continue
+			}
+			evalOne(c, id, nets)
+		}
+		v := nets[target]
+		for b := 0; b < 64 && ch*64+b < size; b++ {
+			res[ch*64+b] = v>>uint(b)&1 == 1
+		}
+	}
+	return res, nil
+}
+
+// dependentCone returns the gates between the support frontier and the
+// target (target included, support excluded).
+func dependentCone(c *netlist.Circuit, target netlist.GateID, support []netlist.GateID) map[netlist.GateID]bool {
+	stop := make(map[netlist.GateID]bool, len(support))
+	for _, s := range support {
+		stop[s] = true
+	}
+	cone := make(map[netlist.GateID]bool)
+	var visit func(id netlist.GateID)
+	visit = func(id netlist.GateID) {
+		if cone[id] || stop[id] {
+			return
+		}
+		cone[id] = true
+		if c.Gate(id).Type == netlist.DFF {
+			return
+		}
+		for _, f := range c.Gate(id).Fanin {
+			visit(f)
+		}
+	}
+	visit(target)
+	return cone
+}
+
+func containsGate(ids []netlist.GateID, id netlist.GateID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalGateWord recomputes a single gate's 64-pattern word from the net
+// buffer in place (sources keep their buffer value). Exposed for
+// region-local evaluation in the ATPG and locking packages.
+func EvalGateWord(c *netlist.Circuit, id netlist.GateID, nets []uint64) {
+	evalOne(c, id, nets)
+}
+
+// evalOne recomputes a single gate's word from the net buffer.
+func evalOne(c *netlist.Circuit, id netlist.GateID, nets []uint64) {
+	g := c.Gate(id)
+	var v uint64
+	switch g.Type {
+	case netlist.Input, netlist.DFF:
+		return // sources keep their buffer value
+	case netlist.TieHi:
+		v = ^uint64(0)
+	case netlist.TieLo:
+		v = 0
+	case netlist.Buf, netlist.Output:
+		v = nets[g.Fanin[0]]
+	case netlist.Not:
+		v = ^nets[g.Fanin[0]]
+	case netlist.And:
+		v = ^uint64(0)
+		for _, f := range g.Fanin {
+			v &= nets[f]
+		}
+	case netlist.Nand:
+		v = ^uint64(0)
+		for _, f := range g.Fanin {
+			v &= nets[f]
+		}
+		v = ^v
+	case netlist.Or:
+		for _, f := range g.Fanin {
+			v |= nets[f]
+		}
+	case netlist.Nor:
+		for _, f := range g.Fanin {
+			v |= nets[f]
+		}
+		v = ^v
+	case netlist.Xor:
+		for _, f := range g.Fanin {
+			v ^= nets[f]
+		}
+	case netlist.Xnor:
+		for _, f := range g.Fanin {
+			v ^= nets[f]
+		}
+		v = ^v
+	case netlist.Mux:
+		s := nets[g.Fanin[0]]
+		v = (^s & nets[g.Fanin[1]]) | (s & nets[g.Fanin[2]])
+	}
+	nets[id] = v
+}

@@ -1,0 +1,233 @@
+// Package sim implements 64-way bit-parallel logic simulation of
+// netlist circuits, deterministic random stimulus generation, and the
+// output-difference metrics used throughout the paper's evaluation
+// (Hamming distance and output error rate over random pattern runs).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Evaluator is a compiled simulator for one circuit. It is safe for
+// concurrent use as long as each goroutine supplies its own net buffer.
+type Evaluator struct {
+	c     *netlist.Circuit
+	order []netlist.GateID
+	// inPos/statePos give, for source gates, their index into the
+	// input and state vectors.
+	inPos    map[netlist.GateID]int
+	statePos map[netlist.GateID]int
+}
+
+// NewEvaluator compiles the circuit for simulation. The circuit must
+// be structurally valid (acyclic combinational core).
+func NewEvaluator(c *netlist.Circuit) (*Evaluator, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		c:        c,
+		order:    order,
+		inPos:    make(map[netlist.GateID]int, len(c.Inputs())),
+		statePos: make(map[netlist.GateID]int),
+	}
+	for i, id := range c.Inputs() {
+		e.inPos[id] = i
+	}
+	for i, id := range c.DFFs() {
+		e.statePos[id] = i
+	}
+	return e, nil
+}
+
+// Circuit returns the circuit this evaluator was compiled from.
+func (e *Evaluator) Circuit() *netlist.Circuit { return e.c }
+
+// NumInputs returns the width of the input vector.
+func (e *Evaluator) NumInputs() int { return len(e.c.Inputs()) }
+
+// NumState returns the width of the state (flip-flop) vector.
+func (e *Evaluator) NumState() int { return len(e.statePos) }
+
+// NewNetBuffer allocates a buffer sized for Eval.
+func (e *Evaluator) NewNetBuffer() []uint64 { return make([]uint64, e.c.NumIDs()) }
+
+// Eval simulates 64 parallel patterns. in holds one word per primary
+// input (bit i of word j = value of input j in pattern i); state holds
+// one word per flip-flop in DFFs() order (may be nil when the circuit
+// has no flip-flops). nets must have length NumIDs and receives the
+// value of every net.
+func (e *Evaluator) Eval(in, state, nets []uint64) {
+	c := e.c
+	for _, id := range e.order {
+		g := c.Gate(id)
+		var v uint64
+		switch g.Type {
+		case netlist.Input:
+			v = in[e.inPos[id]]
+		case netlist.DFF:
+			if state != nil {
+				v = state[e.statePos[id]]
+			}
+		case netlist.TieHi:
+			v = ^uint64(0)
+		case netlist.TieLo:
+			v = 0
+		case netlist.Buf, netlist.Output:
+			v = nets[g.Fanin[0]]
+		case netlist.Not:
+			v = ^nets[g.Fanin[0]]
+		case netlist.And:
+			v = ^uint64(0)
+			for _, f := range g.Fanin {
+				v &= nets[f]
+			}
+		case netlist.Nand:
+			v = ^uint64(0)
+			for _, f := range g.Fanin {
+				v &= nets[f]
+			}
+			v = ^v
+		case netlist.Or:
+			for _, f := range g.Fanin {
+				v |= nets[f]
+			}
+		case netlist.Nor:
+			for _, f := range g.Fanin {
+				v |= nets[f]
+			}
+			v = ^v
+		case netlist.Xor:
+			for _, f := range g.Fanin {
+				v ^= nets[f]
+			}
+		case netlist.Xnor:
+			for _, f := range g.Fanin {
+				v ^= nets[f]
+			}
+			v = ^v
+		case netlist.Mux:
+			s := nets[g.Fanin[0]]
+			v = (^s & nets[g.Fanin[1]]) | (s & nets[g.Fanin[2]])
+		}
+		nets[id] = v
+	}
+}
+
+// OutputWords extracts the primary output values from a net buffer, in
+// Outputs() order.
+func (e *Evaluator) OutputWords(nets, dst []uint64) []uint64 {
+	outs := e.c.Outputs()
+	if cap(dst) < len(outs) {
+		dst = make([]uint64, len(outs))
+	}
+	dst = dst[:len(outs)]
+	for i, o := range outs {
+		dst[i] = nets[o]
+	}
+	return dst
+}
+
+// NextStateWords extracts the flip-flop next-state values (the D pins)
+// from a net buffer, in DFFs() order.
+func (e *Evaluator) NextStateWords(nets, dst []uint64) []uint64 {
+	ffs := e.c.DFFs()
+	if cap(dst) < len(ffs) {
+		dst = make([]uint64, len(ffs))
+	}
+	dst = dst[:len(ffs)]
+	for i, ff := range ffs {
+		dst[i] = nets[e.c.Gate(ff).Fanin[0]]
+	}
+	return dst
+}
+
+// Rand is a deterministic splitmix64 pattern generator.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator; the same seed always yields the same
+// stimulus stream.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Word returns the next 64 random bits.
+func (r *Rand) Word() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 { return float64(r.Word()>>11) / (1 << 53) }
+
+// Intn returns a uniform value in [0,n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Word() % uint64(n))
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fill fills dst with random words.
+func (r *Rand) Fill(dst []uint64) {
+	for i := range dst {
+		dst[i] = r.Word()
+	}
+}
+
+// ExhaustiveWords fills in with the chunk'th block of 64 exhaustive
+// patterns over n variables: pattern index p = chunk*64 + bit assigns
+// variable i the i'th bit of p. n must be at most 63.
+func ExhaustiveWords(in []uint64, n, chunk int) {
+	if n > 63 {
+		panic(fmt.Sprintf("sim: exhaustive enumeration over %d variables", n))
+	}
+	base := uint64(chunk) << 6
+	for i := 0; i < n; i++ {
+		var w uint64
+		if i < 6 {
+			w = exhaustMask(i)
+		} else {
+			if base>>(uint(i))&1 == 1 {
+				w = ^uint64(0)
+			}
+		}
+		in[i] = w
+	}
+}
+
+// exhaustMask returns the canonical bit pattern for low-order variable
+// i in a 64-pattern block: variable 0 alternates every bit, variable 1
+// every 2 bits, and so on.
+func exhaustMask(i int) uint64 {
+	switch i {
+	case 0:
+		return 0xaaaaaaaaaaaaaaaa
+	case 1:
+		return 0xcccccccccccccccc
+	case 2:
+		return 0xf0f0f0f0f0f0f0f0
+	case 3:
+		return 0xff00ff00ff00ff00
+	case 4:
+		return 0xffff0000ffff0000
+	case 5:
+		return 0xffffffff00000000
+	}
+	panic("sim: exhaustMask index out of range")
+}

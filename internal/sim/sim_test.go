@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+func c17(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	src := `
+INPUT(I1)
+INPUT(I2)
+INPUT(I3)
+INPUT(I4)
+INPUT(I5)
+OUTPUT(U12)
+OUTPUT(U13)
+U8 = NAND(I1, I3)
+U9 = NAND(I3, I4)
+U10 = NAND(I2, U9)
+U11 = NAND(U9, I5)
+U12 = NAND(U8, U10)
+U13 = NAND(U10, U11)
+`
+	c, err := netlist.ParseBenchString(src, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// refC17 is a bit-level reference model of c17.
+func refC17(i1, i2, i3, i4, i5 bool) (o1, o2 bool) {
+	nand := func(a, b bool) bool { return !(a && b) }
+	u8 := nand(i1, i3)
+	u9 := nand(i3, i4)
+	u10 := nand(i2, u9)
+	u11 := nand(u9, i5)
+	return nand(u8, u10), nand(u10, u11)
+}
+
+func TestEvalMatchesReference(t *testing.T) {
+	c := c17(t)
+	e, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint64, 5)
+	nets := e.NewNetBuffer()
+	// All 32 patterns fit in one word.
+	ExhaustiveWords(in, 5, 0)
+	e.Eval(in, nil, nets)
+	var out []uint64
+	out = e.OutputWords(nets, out)
+	for p := 0; p < 32; p++ {
+		bit := func(w uint64) bool { return w>>uint(p)&1 == 1 }
+		o1, o2 := refC17(bit(in[0]), bit(in[1]), bit(in[2]), bit(in[3]), bit(in[4]))
+		if bit(out[0]) != o1 || bit(out[1]) != o2 {
+			t.Fatalf("pattern %d: got (%v,%v), want (%v,%v)", p, bit(out[0]), bit(out[1]), o1, o2)
+		}
+	}
+}
+
+func TestAllGateTypes(t *testing.T) {
+	c := netlist.New("all")
+	a := c.MustAdd("a", netlist.Input)
+	b := c.MustAdd("b", netlist.Input)
+	s := c.MustAdd("s", netlist.Input)
+	gates := map[string]netlist.GateID{
+		"and":  c.MustAdd("g_and", netlist.And, a, b),
+		"nand": c.MustAdd("g_nand", netlist.Nand, a, b),
+		"or":   c.MustAdd("g_or", netlist.Or, a, b),
+		"nor":  c.MustAdd("g_nor", netlist.Nor, a, b),
+		"xor":  c.MustAdd("g_xor", netlist.Xor, a, b),
+		"xnor": c.MustAdd("g_xnor", netlist.Xnor, a, b),
+		"not":  c.MustAdd("g_not", netlist.Not, a),
+		"buf":  c.MustAdd("g_buf", netlist.Buf, a),
+		"mux":  c.MustAdd("g_mux", netlist.Mux, s, a, b),
+		"hi":   c.MustAdd("g_hi", netlist.TieHi),
+		"lo":   c.MustAdd("g_lo", netlist.TieLo),
+	}
+	for name, id := range gates {
+		c.MustAdd("o_"+name, netlist.Output, id)
+	}
+	e, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]uint64, 3)
+	ExhaustiveWords(in, 3, 0)
+	nets := e.NewNetBuffer()
+	e.Eval(in, nil, nets)
+	av, bv, sv := in[0], in[1], in[2]
+	want := map[string]uint64{
+		"and":  av & bv,
+		"nand": ^(av & bv),
+		"or":   av | bv,
+		"nor":  ^(av | bv),
+		"xor":  av ^ bv,
+		"xnor": ^(av ^ bv),
+		"not":  ^av,
+		"buf":  av,
+		"mux":  (^sv & av) | (sv & bv),
+		"hi":   ^uint64(0),
+		"lo":   0,
+	}
+	for name, w := range want {
+		if nets[gates[name]] != w {
+			t.Errorf("%s: got %016x want %016x", name, nets[gates[name]], w)
+		}
+	}
+}
+
+func TestSequentialEval(t *testing.T) {
+	// d = NOT(q): next state is the complement of current state.
+	c := netlist.New("toggle")
+	in := c.MustAdd("en", netlist.Input)
+	q := c.MustAdd("q", netlist.DFF, in) // placeholder
+	d := c.MustAdd("d", netlist.Not, q)
+	if err := c.SetFanin(q, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	c.MustAdd("o", netlist.Output, q)
+	e, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := e.NewNetBuffer()
+	state := []uint64{0xdeadbeefcafebabe}
+	e.Eval([]uint64{0}, state, nets)
+	var ns []uint64
+	ns = e.NextStateWords(nets, ns)
+	if ns[0] != ^state[0] {
+		t.Fatalf("next state = %016x, want complement of %016x", ns[0], state[0])
+	}
+}
+
+func TestCompareIdenticalCircuits(t *testing.T) {
+	c := c17(t)
+	d, err := Compare(c, c.Clone(), CompareOptions{Patterns: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HD != 0 || d.OER != 0 {
+		t.Fatalf("self-compare: HD=%v OER=%v, want 0/0", d.HD, d.OER)
+	}
+	if d.Patterns != 1024 {
+		t.Fatalf("patterns = %d", d.Patterns)
+	}
+}
+
+func TestCompareDetectsDifference(t *testing.T) {
+	c := c17(t)
+	mod := c.Clone()
+	// Flip U12 from NAND to AND: outputs differ whenever U12 would be 0.
+	u12 := mod.GateByName("U12")
+	mod.Gate(u12).Type = netlist.And
+	d, err := Compare(c, mod, CompareOptions{Patterns: 4096, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OER == 0 || d.HD == 0 {
+		t.Fatalf("modified circuit reported identical: %+v", d)
+	}
+	eq, err := Equivalent(c, mod, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("Equivalent returned true for different circuits")
+	}
+}
+
+func TestCompareRejectsMismatchedBoundaries(t *testing.T) {
+	c := c17(t)
+	other := netlist.New("tiny")
+	a := other.MustAdd("a", netlist.Input)
+	other.MustAdd("o", netlist.Output, a)
+	if _, err := Compare(c, other, CompareOptions{Patterns: 64}); err == nil {
+		t.Fatal("mismatched circuits accepted")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	r1, r2 := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if r1.Word() != r2.Word() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	r3 := NewRand(43)
+	same := 0
+	r1 = NewRand(42)
+	for i := 0; i < 64; i++ {
+		if r1.Word() == r3.Word() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds suspiciously correlated: %d/64 equal words", same)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExhaustiveWordsCoverAllPatterns(t *testing.T) {
+	// Over 8 variables, collect all 256 minterms from 4 chunks.
+	n := 8
+	in := make([]uint64, n)
+	seen := make(map[int]bool)
+	for ch := 0; ch < 4; ch++ {
+		ExhaustiveWords(in, n, ch)
+		for b := 0; b < 64; b++ {
+			m := 0
+			for i := 0; i < n; i++ {
+				if in[i]>>uint(b)&1 == 1 {
+					m |= 1 << i
+				}
+			}
+			if seen[m] {
+				t.Fatalf("minterm %d seen twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(seen) != 256 {
+		t.Fatalf("covered %d/256 minterms", len(seen))
+	}
+}
+
+func TestTruthTableOnPIs(t *testing.T) {
+	c := c17(t)
+	u12 := c.GateByName("U12")
+	sup := c.Support(u12)
+	tt, err := TruthTable(c, u12, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt) != 1<<len(sup) {
+		t.Fatalf("table size %d", len(tt))
+	}
+	// Validate a few entries against the reference model. Support is
+	// sorted by ID = declaration order I1..I4 (I5 not in U12's cone).
+	for m := 0; m < len(tt); m++ {
+		get := func(i int) bool { return m>>uint(i)&1 == 1 }
+		o1, _ := refC17(get(0), get(1), get(2), get(3), false)
+		if tt[m] != o1 {
+			t.Fatalf("minterm %d: table=%v ref=%v", m, tt[m], o1)
+		}
+	}
+}
+
+func TestTruthTableOnInternalFrontier(t *testing.T) {
+	c := c17(t)
+	u12 := c.GateByName("U12")
+	// Depth-1 cone: frontier is {U8, U10}; U12 = NAND(U8, U10).
+	_, frontier := c.BoundedCone(u12, 1)
+	tt, err := TruthTable(c, u12, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false} // NAND truth table
+	// Frontier order is ascending ID: U8 (earlier) then U10.
+	for m, w := range want {
+		if tt[m] != w {
+			t.Fatalf("minterm %d: got %v want %v (table %v)", m, tt[m], w, tt)
+		}
+	}
+}
+
+func TestActivityBounds(t *testing.T) {
+	c := c17(t)
+	act, err := Activity(c, 4096, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range act {
+		if a < 0 || a > 0.5+1e-9 {
+			t.Fatalf("activity[%d] = %v out of [0, 0.5]", i, a)
+		}
+	}
+	// A NAND of two random inputs has p(1)=0.75 → activity 0.375.
+	u8 := c.GateByName("U8")
+	if act[u8] < 0.3 || act[u8] > 0.45 {
+		t.Errorf("NAND activity = %v, want ≈0.375", act[u8])
+	}
+}
+
+// Property: XOR chains computed by the evaluator equal word-level
+// parity for arbitrary operand words.
+func TestXorParityProperty(t *testing.T) {
+	f := func(ws [4]uint64) bool {
+		c := netlist.New("p")
+		ids := make([]netlist.GateID, 4)
+		for i := range ids {
+			ids[i] = c.MustAdd("", netlist.Input)
+		}
+		x := c.MustAdd("x", netlist.Xor, ids...)
+		c.MustAdd("o", netlist.Output, x)
+		e, err := NewEvaluator(c)
+		if err != nil {
+			return false
+		}
+		nets := e.NewNetBuffer()
+		e.Eval(ws[:], nil, nets)
+		want := ws[0] ^ ws[1] ^ ws[2] ^ ws[3]
+		return nets[x] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HD of a circuit against itself with one output inverted is
+// exactly 1/numOutputs and OER is 1.
+func TestInvertedOutputProperty(t *testing.T) {
+	c := c17(t)
+	mod := c.Clone()
+	o := mod.Outputs()[0]
+	drv := mod.Gate(o).Fanin[0]
+	inv := mod.MustAdd("inv_out", netlist.Not, drv)
+	if err := mod.SetFanin(o, 0, inv); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compare(c, mod, CompareOptions{Patterns: 2048, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OER != 1 {
+		t.Fatalf("OER = %v, want 1", d.OER)
+	}
+	if d.HD != 0.5 {
+		t.Fatalf("HD = %v, want 0.5 (1 of 2 outputs always wrong)", d.HD)
+	}
+}
+
+func TestPopcountSanity(t *testing.T) {
+	// Guard against regressions in how we count HD bits.
+	if bits.OnesCount64(^uint64(0)) != 64 {
+		t.Fatal("stdlib popcount broken?!")
+	}
+}

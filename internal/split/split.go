@@ -1,0 +1,166 @@
+// Package split implements the split manufacturing procedure of
+// Definition 1: G : C(x) → {C(x1,x2), λ(x2)}. The FEOL view — gate
+// geometry, complete FEOL nets, and the via-stack stubs of broken
+// connections — goes to the untrusted fab (the attacker). The BEOL
+// connectivity λ(x2), which contains every key-net, stays secret.
+// Recombination H completes λ(x2) on the FEOL and must reproduce the
+// original circuit exactly (tested property).
+package split
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/route"
+)
+
+// PinRef identifies a sink pin: gate and fanin index.
+type PinRef struct {
+	Gate netlist.GateID
+	Pin  int
+}
+
+// CutPin is a broken sink-side connection as the attacker sees it: the
+// via stack location where the net arrives from above, plus the
+// direction of any FEOL escape segment (DirNone for lifted key-nets).
+type CutPin struct {
+	Ref  PinRef
+	Stub layout.Point
+	Dir  layout.Direction
+	// IsKeyPin is true when the pin is a marked key input of a
+	// key-gate. The paper's threat model grants the attacker full
+	// knowledge of the scheme, so key-gates are recognizable in the
+	// FEOL (Sec. IV-A: "an attacker can understand which gates are
+	// key-gates from the FEOL").
+	IsKeyPin bool
+}
+
+// DriverStub is a broken driver-side connection: where a net leaves the
+// FEOL upward.
+type DriverStub struct {
+	Driver netlist.GateID
+	Stub   layout.Point
+	Dir    layout.Direction
+	// IsTie is true for TIE cell outputs. Visible to the attacker
+	// (cell types are FEOL information).
+	IsTie bool
+}
+
+// FEOLView is everything the untrusted foundry holds: C(x1, x2) plus
+// the full layout geometry below the split layer.
+type FEOLView struct {
+	// Circuit is the netlist structure. Fanin entries listed in
+	// CutPins are NOT known to the attacker — they are retained here
+	// only so metrics can reconstruct candidate netlists; attack code
+	// must treat them as unknown and only read them through Secret.
+	Circuit *netlist.Circuit
+	Layout  *layout.Layout
+	// CutPins lists every broken sink pin.
+	CutPins []CutPin
+	// DriverStubs lists every net with a broken connection, one stub
+	// per net.
+	DriverStubs []DriverStub
+	// SplitLayer records where the stack was split.
+	SplitLayer int
+}
+
+// Secret is λ(x2): the true driver of every broken sink pin.
+type Secret struct {
+	Assignment map[PinRef]netlist.GateID
+}
+
+// Split applies the split procedure to a routed layout.
+func Split(lay *layout.Layout, routes *route.Result) (*FEOLView, *Secret, error) {
+	c := lay.Circuit
+	view := &FEOLView{
+		Circuit:    c,
+		Layout:     lay,
+		SplitLayer: routes.Opt.SplitLayer,
+	}
+	secret := &Secret{Assignment: make(map[PinRef]netlist.GateID)}
+	driverSeen := make(map[netlist.GateID]bool)
+	for _, idx := range routes.CutPins() {
+		pr := &routes.Pins[idx]
+		ref := PinRef{Gate: pr.Sink, Pin: pr.Pin}
+		if _, dup := secret.Assignment[ref]; dup {
+			return nil, nil, fmt.Errorf("split: pin %v routed twice", ref)
+		}
+		g := c.Gate(pr.Sink)
+		view.CutPins = append(view.CutPins, CutPin{
+			Ref:      ref,
+			Stub:     pr.DescendAt,
+			Dir:      pr.DescendDir,
+			IsKeyPin: g.KeyPin == pr.Pin,
+		})
+		secret.Assignment[ref] = pr.Driver
+		if !driverSeen[pr.Driver] {
+			driverSeen[pr.Driver] = true
+			view.DriverStubs = append(view.DriverStubs, DriverStub{
+				Driver: pr.Driver,
+				Stub:   pr.AscendAt,
+				Dir:    pr.AscendDir,
+				IsTie:  c.Gate(pr.Driver).Type.IsTie(),
+			})
+		}
+	}
+	return view, secret, nil
+}
+
+// Recombine implements H: complete the broken pins according to an
+// assignment (the secret λ(x2), or an attacker's hypothesis λ'(x2))
+// and return the resulting netlist. Unassigned cut pins keep their
+// placeholder connection to the original driver — callers evaluating
+// attack hypotheses should ensure every cut pin is assigned.
+func (v *FEOLView) Recombine(assignment map[PinRef]netlist.GateID) (*netlist.Circuit, error) {
+	c := v.Circuit.Clone()
+	for _, cp := range v.CutPins {
+		drv, ok := assignment[cp.Ref]
+		if !ok {
+			continue
+		}
+		if !c.Alive(drv) {
+			return nil, fmt.Errorf("split: assignment drives pin %v from dead gate %d", cp.Ref, drv)
+		}
+		if err := c.SetFanin(cp.Ref.Gate, cp.Ref.Pin, drv); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("split: recombined netlist invalid: %w", err)
+	}
+	return c, nil
+}
+
+// KeyPins returns the cut pins that are key inputs.
+func (v *FEOLView) KeyPins() []CutPin {
+	var out []CutPin
+	for _, cp := range v.CutPins {
+		if cp.IsKeyPin {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// RegularPins returns the cut pins that are not key inputs.
+func (v *FEOLView) RegularPins() []CutPin {
+	var out []CutPin
+	for _, cp := range v.CutPins {
+		if !cp.IsKeyPin {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// TieStubs returns the driver stubs that are TIE cells.
+func (v *FEOLView) TieStubs() []DriverStub {
+	var out []DriverStub
+	for _, ds := range v.DriverStubs {
+		if ds.IsTie {
+			out = append(out, ds)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package split
+
+import (
+	"testing"
+
+	"repro/internal/bmarks"
+	"repro/internal/layout"
+	"repro/internal/lec"
+	"repro/internal/locking"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+func splitDesign(t *testing.T, gates, keyBits int, seed uint64, splitLayer int) (*netlist.Circuit, *locking.Locked, *FEOLView, *Secret) {
+	t.Helper()
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "s", Inputs: 12, Outputs: 6, Gates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: keyBits, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := place.Place(lk.Circuit, place.Options{Seed: seed + 2, RandomizeTies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := route.RouteAll(lay, route.Options{SplitLayer: splitLayer, LiftKeyNets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, secret, err := Split(lay, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, lk, view, secret
+}
+
+func TestSplitRecombineIdentity(t *testing.T) {
+	// Definition 1 property: H(G(C)) ≡ C. Recombining with the true
+	// secret must reproduce the locked circuit exactly, which is
+	// itself equivalent to the original.
+	orig, lk, view, secret := splitDesign(t, 500, 16, 10, 4)
+	rec, err := view.Recombine(secret.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lec.Check(lk.Circuit, rec, lec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("recombined circuit differs from locked circuit")
+	}
+	res, err = lec.Check(orig, rec, lec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("recombined circuit differs from original")
+	}
+}
+
+func TestAllKeyPinsCut(t *testing.T) {
+	_, lk, view, secret := splitDesign(t, 500, 24, 20, 4)
+	keyPins := view.KeyPins()
+	if len(keyPins) != 24 {
+		t.Fatalf("%d key pins cut, want 24", len(keyPins))
+	}
+	// Every key pin's true driver is its TIE cell, and its stub must
+	// sit exactly on the key-gate position with no direction hint.
+	tieOf := make(map[PinRef]netlist.GateID)
+	for _, kb := range lk.KeyBits {
+		tieOf[PinRef{Gate: kb.Gate, Pin: kb.Pin}] = kb.Tie
+	}
+	for _, cp := range keyPins {
+		want, ok := tieOf[cp.Ref]
+		if !ok {
+			t.Fatalf("unexpected key pin %v", cp.Ref)
+		}
+		if secret.Assignment[cp.Ref] != want {
+			t.Fatalf("secret for %v = %d, want tie %d", cp.Ref, secret.Assignment[cp.Ref], want)
+		}
+		if cp.Dir != layout.DirNone {
+			t.Fatal("key pin stub has a direction hint")
+		}
+	}
+	// Every TIE must appear as a driver stub flagged IsTie.
+	ties := view.TieStubs()
+	if len(ties) != 24 {
+		t.Fatalf("%d TIE stubs, want 24", len(ties))
+	}
+}
+
+func TestSecretCoversExactlyCutPins(t *testing.T) {
+	_, _, view, secret := splitDesign(t, 600, 16, 30, 6)
+	if len(secret.Assignment) != len(view.CutPins) {
+		t.Fatalf("secret size %d != cut pins %d", len(secret.Assignment), len(view.CutPins))
+	}
+	for _, cp := range view.CutPins {
+		if _, ok := secret.Assignment[cp.Ref]; !ok {
+			t.Fatalf("cut pin %v missing from secret", cp.Ref)
+		}
+	}
+}
+
+func TestRecombineWithWrongAssignmentDiffers(t *testing.T) {
+	orig, _, view, secret := splitDesign(t, 500, 16, 40, 4)
+	// Corrupt the key-pin assignments: point them all at the first
+	// TIE stub (wrong polarity for roughly half).
+	wrong := make(map[PinRef]netlist.GateID, len(secret.Assignment))
+	for k, v := range secret.Assignment {
+		wrong[k] = v
+	}
+	ties := view.TieStubs()
+	flipped := 0
+	for _, cp := range view.KeyPins() {
+		truth := secret.Assignment[cp.Ref]
+		for _, ds := range ties {
+			if ds.Driver != truth && view.Circuit.Gate(ds.Driver).Type != view.Circuit.Gate(truth).Type {
+				wrong[cp.Ref] = ds.Driver
+				flipped++
+				break
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Skip("all ties same polarity; cannot flip")
+	}
+	rec, err := view.Recombine(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lec.Check(orig, rec, lec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("flipped key assignment still equivalent")
+	}
+}
+
+func TestRecombineRejectsDeadDriver(t *testing.T) {
+	_, _, view, secret := splitDesign(t, 300, 8, 50, 4)
+	bad := make(map[PinRef]netlist.GateID)
+	for k := range secret.Assignment {
+		bad[k] = netlist.GateID(view.Circuit.NumIDs() + 5)
+		break
+	}
+	defer func() { recover() }() // out-of-range may panic or error; either is a rejection
+	if _, err := view.Recombine(bad); err == nil {
+		t.Fatal("dead driver accepted")
+	}
+}

@@ -1,0 +1,293 @@
+// Package synth provides the re-synthesis passes the paper obtains
+// from Synopsys Design Compiler: constant propagation (the mechanism by
+// which injecting a stuck-at fault removes logic), dead-gate
+// elimination, buffer sweeping, and simple structural simplifications.
+// It also exposes the area cost model used by the cost-driven fault
+// selection of Sec. III-A.
+package synth
+
+import (
+	"repro/internal/cellib"
+	"repro/internal/netlist"
+)
+
+// constState tracks the lattice value of a net during propagation.
+type constState uint8
+
+const (
+	unknown constState = iota
+	constZero
+	constOne
+)
+
+// PropagateConstants folds constants through the circuit in place:
+// TIE cells (unless DontTouch) and nets forced by folded gates become
+// constants, gates with constant inputs are simplified or replaced, and
+// single-input AND/OR collapse to buffers. It returns the number of
+// gates simplified. DontTouch gates are never restructured (the Fig. 3
+// flow sets dont_touch on TIE cells and key-nets so the restore
+// circuitry survives synthesis).
+func PropagateConstants(c *netlist.Circuit) int {
+	changed := 0
+	for {
+		n := propagateOnce(c)
+		if n == 0 {
+			break
+		}
+		changed += n
+	}
+	return changed
+}
+
+func propagateOnce(c *netlist.Circuit) int {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	// val is indexed by GateID and grown when constant drivers are
+	// created mid-pass.
+	val := make([]constState, c.NumIDs(), c.NumIDs()+2)
+	// Shared constant drivers, created lazily.
+	var tieHi, tieLo netlist.GateID = netlist.InvalidGate, netlist.InvalidGate
+	getConst := func(one bool) netlist.GateID {
+		if one {
+			if tieHi == netlist.InvalidGate {
+				tieHi = c.MustAdd("", netlist.TieHi)
+				val = append(val, constOne)
+			}
+			return tieHi
+		}
+		if tieLo == netlist.InvalidGate {
+			tieLo = c.MustAdd("", netlist.TieLo)
+			val = append(val, constZero)
+		}
+		return tieLo
+	}
+	changed := 0
+	for _, id := range order {
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.TieHi:
+			if !g.DontTouch {
+				val[id] = constOne
+			}
+			continue
+		case netlist.TieLo:
+			if !g.DontTouch {
+				val[id] = constZero
+			}
+			continue
+		case netlist.Input, netlist.DFF, netlist.Output:
+			continue
+		}
+		if g.DontTouch {
+			continue
+		}
+		v, folded := foldGate(c, g, val)
+		if !folded {
+			continue
+		}
+		val[id] = v
+		if v == constZero || v == constOne {
+			// Replace the net with a constant driver.
+			nd := getConst(v == constOne)
+			if c.RewireNet(id, nd) > 0 {
+				changed++
+			}
+			c.Kill(id)
+		}
+	}
+	changed += simplifyStructure(c, val)
+	c.SweepDead()
+	return changed
+}
+
+// foldGate evaluates a gate over the constant lattice. It returns the
+// folded value and whether anything was determined.
+func foldGate(c *netlist.Circuit, g *netlist.Gate, val []constState) (constState, bool) {
+	in := func(i int) constState { return val[g.Fanin[i]] }
+	switch g.Type {
+	case netlist.Buf:
+		if in(0) != unknown {
+			return in(0), true
+		}
+	case netlist.Not:
+		if in(0) == constZero {
+			return constOne, true
+		}
+		if in(0) == constOne {
+			return constZero, true
+		}
+	case netlist.And, netlist.Nand:
+		anyZero, allOne := false, true
+		for i := range g.Fanin {
+			switch in(i) {
+			case constZero:
+				anyZero = true
+				allOne = false
+			case unknown:
+				allOne = false
+			}
+		}
+		if anyZero {
+			if g.Type == netlist.And {
+				return constZero, true
+			}
+			return constOne, true
+		}
+		if allOne {
+			if g.Type == netlist.And {
+				return constOne, true
+			}
+			return constZero, true
+		}
+	case netlist.Or, netlist.Nor:
+		anyOne, allZero := false, true
+		for i := range g.Fanin {
+			switch in(i) {
+			case constOne:
+				anyOne = true
+				allZero = false
+			case unknown:
+				allZero = false
+			}
+		}
+		if anyOne {
+			if g.Type == netlist.Or {
+				return constOne, true
+			}
+			return constZero, true
+		}
+		if allZero {
+			if g.Type == netlist.Or {
+				return constZero, true
+			}
+			return constOne, true
+		}
+	case netlist.Xor, netlist.Xnor:
+		parity := g.Type == netlist.Xnor // XNOR starts inverted
+		for i := range g.Fanin {
+			switch in(i) {
+			case constOne:
+				parity = !parity
+			case unknown:
+				return unknown, false
+			}
+		}
+		if parity {
+			return constOne, true
+		}
+		return constZero, true
+	case netlist.Mux:
+		switch in(0) {
+		case constZero:
+			if in(1) != unknown {
+				return in(1), true
+			}
+		case constOne:
+			if in(2) != unknown {
+				return in(2), true
+			}
+		}
+	}
+	return unknown, false
+}
+
+// simplifyStructure rewrites gates whose constant inputs can be
+// dropped: AND with a 1-input loses the pin, OR with a 0-input loses
+// the pin, XOR absorbs constants into polarity, MUX with constant
+// select becomes a buffer. Returns the number of edits.
+func simplifyStructure(c *netlist.Circuit, val []constState) int {
+	changed := 0
+	for i := 0; i < c.NumIDs(); i++ {
+		id := netlist.GateID(i)
+		if !c.Alive(id) {
+			continue
+		}
+		g := c.Gate(id)
+		if g.DontTouch {
+			continue
+		}
+		switch g.Type {
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			absorbing := constZero // 0 dominates AND
+			identity := constOne
+			if g.Type == netlist.Or || g.Type == netlist.Nor {
+				absorbing, identity = constOne, constZero
+			}
+			keep := g.Fanin[:0]
+			edited := false
+			dominated := false
+			for _, f := range g.Fanin {
+				switch val[f] {
+				case identity:
+					edited = true // drop the pin
+				case absorbing:
+					dominated = true
+				default:
+					keep = append(keep, f)
+				}
+			}
+			if dominated {
+				continue // handled by foldGate on the next pass
+			}
+			g.Fanin = keep
+			if len(g.Fanin) == 1 {
+				// Degenerate gate: AND/OR → BUF, NAND/NOR → NOT.
+				if g.Type == netlist.And || g.Type == netlist.Or {
+					g.Type = netlist.Buf
+				} else {
+					g.Type = netlist.Not
+				}
+				edited = true
+			}
+			if edited {
+				changed++
+				c.Invalidate()
+			}
+		case netlist.Mux:
+			// MUX with identical branches is a buffer of the branch.
+			if g.Fanin[1] == g.Fanin[2] {
+				g.Type = netlist.Buf
+				g.Fanin = []netlist.GateID{g.Fanin[1]}
+				changed++
+				c.Invalidate()
+			}
+		}
+	}
+	return changed
+}
+
+// SweepBuffers removes BUF gates by rewiring their sinks to the buffer
+// input (DontTouch buffers are kept). It returns the number removed.
+func SweepBuffers(c *netlist.Circuit) int {
+	removed := 0
+	for i := 0; i < c.NumIDs(); i++ {
+		id := netlist.GateID(i)
+		if !c.Alive(id) {
+			continue
+		}
+		g := c.Gate(id)
+		if g.Type != netlist.Buf || g.DontTouch {
+			continue
+		}
+		src := g.Fanin[0]
+		c.RewireNet(id, src)
+		c.Kill(id)
+		removed++
+	}
+	c.SweepDead()
+	return removed
+}
+
+// Area is the synthesis-stage cost metric: total standard-cell area of
+// the circuit in um^2 (the paper's cost model, Sec. III-A).
+func Area(c *netlist.Circuit) float64 { return cellib.Area(c) }
+
+// Cleanup runs the full light-weight resynthesis pipeline: constant
+// propagation to fixpoint, buffer sweeping, and dead-gate removal.
+func Cleanup(c *netlist.Circuit) {
+	PropagateConstants(c)
+	SweepBuffers(c)
+	c.SweepDead()
+}

@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/bmarks"
+	"repro/internal/lec"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestConstantFoldAND(t *testing.T) {
+	c := netlist.New("f")
+	a := c.MustAdd("a", netlist.Input)
+	lo := c.MustAdd("zero", netlist.TieLo)
+	g := c.MustAdd("g", netlist.And, a, lo)
+	c.MustAdd("o", netlist.Output, g)
+	PropagateConstants(c)
+	// g = AND(a, 0) = 0: the output should now be driven by a constant.
+	o := c.Outputs()[0]
+	drv := c.Gate(c.Gate(o).Fanin[0])
+	if drv.Type != netlist.TieLo {
+		t.Fatalf("output driver is %v, want TIELO", drv.Type)
+	}
+	if c.Alive(g) {
+		t.Fatal("folded gate still alive")
+	}
+}
+
+func TestConstantFoldCascade(t *testing.T) {
+	// NOT(1) = 0 feeds OR; OR(x, 0) should drop the pin.
+	c := netlist.New("f2")
+	x := c.MustAdd("x", netlist.Input)
+	hi := c.MustAdd("one", netlist.TieHi)
+	n := c.MustAdd("n", netlist.Not, hi)
+	g := c.MustAdd("g", netlist.Or, x, n)
+	c.MustAdd("o", netlist.Output, g)
+	PropagateConstants(c)
+	o := c.Outputs()[0]
+	// After folding, o should effectively be BUF(x) or directly x.
+	e, err := sim.NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := e.NewNetBuffer()
+	e.Eval([]uint64{0xf0f0}, nil, nets)
+	if nets[o] != 0xf0f0 {
+		t.Fatalf("folded circuit wrong: %x", nets[o])
+	}
+}
+
+func TestXorConstantFold(t *testing.T) {
+	c := netlist.New("fx")
+	hi := c.MustAdd("one", netlist.TieHi)
+	lo := c.MustAdd("zero", netlist.TieLo)
+	g := c.MustAdd("g", netlist.Xor, hi, lo, hi)
+	c.MustAdd("o", netlist.Output, g)
+	PropagateConstants(c)
+	drv := c.Gate(c.Gate(c.Outputs()[0]).Fanin[0])
+	if drv.Type != netlist.TieLo { // 1^0^1 = 0
+		t.Fatalf("XOR fold: driver %v, want TIELO", drv.Type)
+	}
+}
+
+func TestMuxConstantSelect(t *testing.T) {
+	c := netlist.New("fm")
+	a := c.MustAdd("a", netlist.Input)
+	b := c.MustAdd("b", netlist.Input)
+	hi := c.MustAdd("one", netlist.TieHi)
+	m := c.MustAdd("m", netlist.Mux, hi, a, b)
+	c.MustAdd("o", netlist.Output, m)
+	PropagateConstants(c)
+	// sel=1 selects b.
+	e, _ := sim.NewEvaluator(c)
+	nets := e.NewNetBuffer()
+	e.Eval([]uint64{0xaaaa, 0x5555}, nil, nets)
+	if nets[c.Outputs()[0]] != 0x5555 {
+		t.Fatal("MUX with constant-1 select did not fold to b")
+	}
+}
+
+func TestDontTouchPreserved(t *testing.T) {
+	c := netlist.New("dt")
+	a := c.MustAdd("a", netlist.Input)
+	lo := c.MustAdd("zero", netlist.TieLo)
+	c.Gate(lo).DontTouch = true
+	g := c.MustAdd("g", netlist.Xor, a, lo)
+	c.Gate(g).DontTouch = true
+	c.MustAdd("o", netlist.Output, g)
+	n := PropagateConstants(c)
+	if n != 0 {
+		t.Fatalf("DontTouch logic was restructured (%d edits)", n)
+	}
+	if !c.Alive(lo) || !c.Alive(g) {
+		t.Fatal("DontTouch gates removed")
+	}
+}
+
+func TestSweepBuffers(t *testing.T) {
+	c := netlist.New("sb")
+	a := c.MustAdd("a", netlist.Input)
+	b1 := c.MustAdd("b1", netlist.Buf, a)
+	b2 := c.MustAdd("b2", netlist.Buf, b1)
+	g := c.MustAdd("g", netlist.Not, b2)
+	c.MustAdd("o", netlist.Output, g)
+	removed := SweepBuffers(c)
+	if removed != 2 {
+		t.Fatalf("removed %d buffers, want 2", removed)
+	}
+	if c.Gate(g).Fanin[0] != a {
+		t.Fatal("NOT not rewired to source")
+	}
+}
+
+func TestCleanupPreservesFunction(t *testing.T) {
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "cp", Inputs: 12, Outputs: 6, Gates: 400, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := orig.Clone()
+	// Inject constants: tie two random internal nets through AND/OR
+	// with TIE cells, then clean up.
+	hi := work.MustAdd("konst1", netlist.TieHi)
+	g0 := work.GateByName("g10")
+	and := work.MustAdd("xtra", netlist.And, g0, hi) // AND(x,1) = x
+	work.RewireNet(g0, and)
+	work.Gate(and).Fanin[0] = g0
+	work.Invalidate()
+	Cleanup(work)
+	res, err := lec.Check(orig, work, lec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("cleanup changed circuit function")
+	}
+	if a, b := Area(work), Area(orig); a > b*1.01 {
+		t.Fatalf("cleanup failed to remove injected redundancy: %v > %v", a, b)
+	}
+}
+
+func TestAreaPositive(t *testing.T) {
+	c, err := bmarks.Generate(bmarks.Spec{Name: "ar", Inputs: 8, Outputs: 4, Gates: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Area(c) <= 0 {
+		t.Fatal("area not positive")
+	}
+}
