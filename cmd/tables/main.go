@@ -35,6 +35,7 @@ func main() {
 		runs     = flag.Int("runs", 2000, "ideal-attack runs (paper: 1M)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
+		simWork  = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -49,9 +50,12 @@ func main() {
 		any = true
 		rows, err := flow.RunITC(flow.ITCOptions{
 			Scale: *scale, KeyBits: *keyBits, Patterns: *patterns,
-			Seed: *seed, Parallel: *parallel,
+			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
 		})
 		if err != nil {
+			// The error joins every failed benchmark×layer job in row
+			// order (rows annotate them individually), so nothing is
+			// silently dropped from the table.
 			fail(err)
 		}
 		if *all || *table == "1" {
@@ -68,6 +72,7 @@ func main() {
 		any = true
 		rows, err := flow.RunISCAS(flow.ISCASOptions{
 			KeyBits: *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
+			SimWorkers: *simWork,
 		})
 		if err != nil {
 			fail(err)

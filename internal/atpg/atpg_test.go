@@ -169,6 +169,52 @@ func TestMergeReducesKeyBits(t *testing.T) {
 	}
 }
 
+// FaultSimOpt must produce identical detection maps for every worker
+// count and for both sharding strategies (fault-sharded when the fault
+// list is large relative to the pool, pattern-sharded otherwise).
+func TestFaultSimWorkerCountInvariance(t *testing.T) {
+	c := c17(t)
+	fs := EnumerateFaults(c)
+	ref, err := FaultSimOpt(c, fs, FaultSimOptions{Patterns: 2048, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 16} {
+		res, err := FaultSimOpt(c, fs, FaultSimOptions{Patterns: 2048, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage != ref.Coverage || res.Patterns != ref.Patterns {
+			t.Fatalf("workers=%d: coverage %v/%d, want %v/%d",
+				workers, res.Coverage, res.Patterns, ref.Coverage, ref.Patterns)
+		}
+		for i := range ref.Detected {
+			if res.Detected[i] != ref.Detected[i] {
+				t.Fatalf("workers=%d: fault %v detection differs", workers, fs[i])
+			}
+		}
+	}
+	// Force the pattern-sharded path with enough pattern words to span
+	// several engine batches (the default grain is 64 words), so the
+	// cross-worker OR merge of private detection maps really runs
+	// multi-worker: fewer faults than 2× workers, 2^15 patterns = 512
+	// words = 8 batches.
+	few := fs[:2]
+	refFew, err := FaultSimOpt(c, few, FaultSimOptions{Patterns: 1 << 15, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFew, err := FaultSimOpt(c, few, FaultSimOptions{Patterns: 1 << 15, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refFew.Detected {
+		if resFew.Detected[i] != refFew.Detected[i] {
+			t.Fatalf("pattern-sharded: fault %v detection differs", few[i])
+		}
+	}
+}
+
 func TestFaultSimDetectsAllC17Faults(t *testing.T) {
 	// c17 is fully testable: every stuck-at fault is detectable, and
 	// random patterns over 5 inputs quickly achieve full coverage.

@@ -3,6 +3,7 @@ package atpg
 import (
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/sim"
 )
@@ -18,16 +19,47 @@ type FaultSimResult struct {
 	Patterns int
 }
 
+// FaultSimOptions tunes FaultSimOpt.
+type FaultSimOptions struct {
+	// Patterns is the number of random patterns (rounded up to a
+	// multiple of 64). Defaults to 1024.
+	Patterns int
+	// Seed selects the stimulus stream.
+	Seed uint64
+	// Workers caps the worker pool (0 = GOMAXPROCS, 1 = serial). The
+	// result is identical for every setting: a fault is detected iff
+	// some pattern observes it, regardless of how the work is sharded.
+	Workers int
+}
+
 // FaultSim runs bit-parallel stuck-at fault simulation over random
+// patterns with the default worker pool; see FaultSimOpt.
+func FaultSim(c *netlist.Circuit, faults []Fault, patterns int, seed uint64) (*FaultSimResult, error) {
+	return FaultSimOpt(c, faults, FaultSimOptions{Patterns: patterns, Seed: seed})
+}
+
+// FaultSimOpt runs bit-parallel stuck-at fault simulation over random
 // patterns: for each fault, the faulty net is forced and its fanout
 // cone re-evaluated; a fault is detected when an observable differs
 // from the good machine. This reproduces the fault-grading role of the
 // paper's ATPG tooling and grades the testability of locked designs.
-func FaultSim(c *netlist.Circuit, faults []Fault, patterns int, seed uint64) (*FaultSimResult, error) {
+//
+// The work is sharded across the engine pool on the fault axis when the
+// fault list is large (each shard sweeps the full pattern stream and
+// early-exits once its faults are all detected), and on the pattern
+// axis otherwise (per-worker detection maps merged by OR). Fault shards
+// each re-evaluate the good machine for the words they visit — a
+// deliberate tradeoff that keeps shards synchronization-free; it costs
+// at most workers× the serial good-simulation work, which the cone
+// re-evaluation dominates whenever the fault list is large enough to
+// pick this path.
+func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*FaultSimResult, error) {
 	e, err := sim.NewEvaluator(c)
 	if err != nil {
 		return nil, err
 	}
+	// NewEvaluator warmed the circuit's cached topological order and
+	// fanout lists, so workers below only perform reads.
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -36,30 +68,36 @@ func FaultSim(c *netlist.Circuit, faults []Fault, patterns int, seed uint64) (*F
 	for i, id := range order {
 		pos[id] = i
 	}
-	if patterns <= 0 {
-		patterns = 1024
+	if opt.Patterns <= 0 {
+		opt.Patterns = 1024
 	}
-	words := (patterns + 63) / 64
+	words := (opt.Patterns + 63) / 64
 
-	// Pre-compute, per fault, the fanout cone in topological order.
+	// Pre-compute, per fault, the fanout cone in topological order;
+	// cone extraction is itself sharded (distinct indices per batch).
 	cones := make([][]netlist.GateID, len(faults))
-	for i, f := range faults {
-		fo := c.TransitiveFanout(f.Net)
-		cone := make([]netlist.GateID, 0, len(fo))
-		for id := range fo {
-			if id != f.Net {
-				cone = append(cone, id)
+	engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: 16},
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, b engine.Batch) {
+			for i := b.Start; i < b.End; i++ {
+				f := faults[i]
+				fo := c.TransitiveFanout(f.Net)
+				cone := make([]netlist.GateID, 0, len(fo))
+				for id := range fo {
+					if id != f.Net {
+						cone = append(cone, id)
+					}
+				}
+				// Insertion sort by topological position (cones are
+				// usually small relative to the circuit).
+				for a := 1; a < len(cone); a++ {
+					for b := a; b > 0 && pos[cone[b]] < pos[cone[b-1]]; b-- {
+						cone[b], cone[b-1] = cone[b-1], cone[b]
+					}
+				}
+				cones[i] = cone
 			}
-		}
-		// Insertion sort by topological position (cones are usually
-		// small relative to the circuit).
-		for a := 1; a < len(cone); a++ {
-			for b := a; b > 0 && pos[cone[b]] < pos[cone[b-1]]; b-- {
-				cone[b], cone[b-1] = cone[b-1], cone[b]
-			}
-		}
-		cones[i] = cone
-	}
+		})
 
 	obs := make([]netlist.GateID, 0, len(c.Outputs())+len(c.DFFs()))
 	for _, o := range c.Outputs() {
@@ -69,43 +107,101 @@ func FaultSim(c *netlist.Circuit, faults []Fault, patterns int, seed uint64) (*F
 		obs = append(obs, c.Gate(ff).Fanin[0])
 	}
 
-	rng := sim.NewRand(seed)
-	in := make([]uint64, len(c.Inputs()))
-	st := make([]uint64, len(c.DFFs()))
-	good := e.NewNetBuffer()
-	faulty := e.NewNetBuffer()
-	detected := make([]bool, len(faults))
+	// Each pattern word consumes this many stimulus words.
+	stride := uint64(len(c.Inputs()) + len(c.DFFs()))
 
-	for w := 0; w < words; w++ {
-		rng.Fill(in)
-		rng.Fill(st)
-		e.Eval(in, st, good)
-		for fi, f := range faults {
-			if detected[fi] {
+	type fsState struct {
+		in, st, good, faulty []uint64
+		detected             []bool
+	}
+	newState := func(detected []bool) *fsState {
+		return &fsState{
+			in:       make([]uint64, len(c.Inputs())),
+			st:       make([]uint64, len(c.DFFs())),
+			good:     e.NewNetBuffer(),
+			faulty:   e.NewNetBuffer(),
+			detected: detected,
+		}
+	}
+	// simWord evaluates the good machine for pattern word w and checks
+	// the faults in [lo, hi) that s.detected has not yet seen.
+	simWord := func(s *fsState, w, lo, hi int) {
+		rng := sim.NewRandAt(opt.Seed, uint64(w)*stride)
+		rng.Fill(s.in)
+		rng.Fill(s.st)
+		e.Eval(s.in, s.st, s.good)
+		for fi := lo; fi < hi; fi++ {
+			if s.detected[fi] {
 				continue
 			}
+			f := faults[fi]
 			var forced uint64
 			if f.StuckAt {
 				forced = ^uint64(0)
 			}
 			// Activation: patterns where the good value differs from
 			// the stuck value.
-			if good[f.Net]^forced == 0 {
+			if s.good[f.Net]^forced == 0 {
 				continue
 			}
-			copy(faulty, good)
-			faulty[f.Net] = forced
+			copy(s.faulty, s.good)
+			s.faulty[f.Net] = forced
 			for _, id := range cones[fi] {
-				evalGateWord(c, id, faulty)
+				evalGateWord(c, id, s.faulty)
 			}
 			for _, o := range obs {
-				if faulty[o]^good[o] != 0 {
-					detected[fi] = true
+				if s.faulty[o]^s.good[o] != 0 {
+					s.detected[fi] = true
 					break
 				}
 			}
 		}
 	}
+
+	detected := make([]bool, len(faults))
+	workers := engine.Workers(len(faults), engine.Options{Workers: opt.Workers, Grain: 1})
+	if len(faults) >= 2*workers {
+		// Fault-sharded: one contiguous fault shard per worker; every
+		// shard sweeps the same pattern stream and stops early once all
+		// of its faults are detected. Shards write disjoint ranges of
+		// the shared detection map.
+		grain := (len(faults) + workers - 1) / workers
+		engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: grain},
+			func(int) *fsState { return newState(detected) },
+			func(s *fsState, b engine.Batch) {
+				for w := 0; w < words; w++ {
+					remaining := 0
+					for fi := b.Start; fi < b.End; fi++ {
+						if !s.detected[fi] {
+							remaining++
+						}
+					}
+					if remaining == 0 {
+						return
+					}
+					simWord(s, w, b.Start, b.End)
+				}
+			})
+	} else {
+		// Pattern-sharded: every worker grades the full fault list over
+		// its word batches with a private detection map; the final map
+		// is the OR across workers.
+		states := engine.Run(words, engine.Options{Workers: opt.Workers},
+			func(int) *fsState { return newState(make([]bool, len(faults))) },
+			func(s *fsState, b engine.Batch) {
+				for w := b.Start; w < b.End; w++ {
+					simWord(s, w, 0, len(faults))
+				}
+			})
+		for _, s := range states {
+			for i, d := range s.detected {
+				if d {
+					detected[i] = true
+				}
+			}
+		}
+	}
+
 	nDet := 0
 	for _, d := range detected {
 		if d {

@@ -1,0 +1,136 @@
+// Package engine provides the shared parallel batch runner behind the
+// pattern-simulation hot paths (HD/OER comparison, switching-activity
+// estimation, fault grading, and key-recovery sweeps). It shards a work
+// range across a bounded worker pool with per-worker state, so callers
+// keep one net buffer and one stimulus generator per worker instead of
+// per item.
+//
+// Determinism contract: batch boundaries depend only on the item count
+// and the grain — never on the worker count — so a kernel that derives
+// its stimulus from Batch.Start (see sim.NewRandAt) produces results
+// that are bit-identical for any Workers setting, including the serial
+// Workers=1 path. Aggregates merged commutatively (integer sums, OR of
+// booleans) are therefore reproducible everywhere from a laptop to a
+// 128-core host.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch is a contiguous half-open range [Start, End) of work items.
+type Batch struct{ Start, End int }
+
+// Len returns the number of items in the batch.
+func (b Batch) Len() int { return b.End - b.Start }
+
+// DefaultGrain is the default number of items per batch. At 64-way
+// bit-parallel simulation one item is one 64-pattern word, so the
+// default batch covers 4096 patterns — large enough to amortize worker
+// handoff, small enough to load-balance uneven kernels.
+const DefaultGrain = 64
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers caps the worker pool. <= 0 means GOMAXPROCS; 1 runs the
+	// whole range serially on the calling goroutine.
+	Workers int
+	// Grain is the number of items per batch (<= 0 means DefaultGrain).
+	// Changing the grain changes batch boundaries and thus the stimulus
+	// stream of kernels that seed per batch; keep it fixed when
+	// reproducibility across configurations matters.
+	Grain int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) grain() int {
+	if o.Grain > 0 {
+		return o.Grain
+	}
+	return DefaultGrain
+}
+
+// Workers resolves the effective worker count for n items under opt.
+func Workers(n int, opt Options) int {
+	w := opt.workers()
+	batches := (n + opt.grain() - 1) / opt.grain()
+	if batches < 1 {
+		batches = 1
+	}
+	if w > batches {
+		w = batches
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run partitions [0, n) into fixed-grain batches and processes them on
+// a worker pool. newState is called once per worker (worker indices are
+// dense from 0) and all newState calls complete before the first
+// kernel call, so state constructors may read structures the kernels
+// mutate. kernel is called for every batch, concurrently across
+// workers but never concurrently on the same state. Run blocks until
+// all batches complete and returns the per-worker states for the
+// caller to merge.
+//
+// Workers only ever read shared inputs, so callers must pre-build any
+// lazily cached structures (topological orders, fanout lists, compiled
+// evaluators) before calling Run.
+func Run[S any](n int, opt Options, newState func(worker int) S, kernel func(s S, b Batch)) []S {
+	if n <= 0 {
+		return nil
+	}
+	grain := opt.grain()
+	workers := Workers(n, opt)
+
+	if workers == 1 {
+		s := newState(0)
+		for start := 0; start < n; start += grain {
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			kernel(s, Batch{start, end})
+		}
+		return []S{s}
+	}
+
+	// Construct every state before launching any worker: newState may
+	// read shared structures (e.g. clone a circuit) that an already
+	// running kernel would be mutating.
+	states := make([]S, workers)
+	for w := 0; w < workers; w++ {
+		states[w] = newState(w)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(s S) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				kernel(s, Batch{start, end})
+			}
+		}(states[w])
+	}
+	wg.Wait()
+	return states
+}

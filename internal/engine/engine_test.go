@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		var mu sync.Mutex
+		seen := make([]int, n)
+		Run(n, Options{Workers: workers, Grain: 13},
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, b Batch) {
+				if b.Start < 0 || b.End > n || b.Start >= b.End {
+					t.Errorf("bad batch %+v", b)
+				}
+				mu.Lock()
+				for i := b.Start; i < b.End; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d processed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunBatchBoundariesIndependentOfWorkers(t *testing.T) {
+	const n = 500
+	collect := func(workers int) map[Batch]bool {
+		var mu sync.Mutex
+		batches := make(map[Batch]bool)
+		Run(n, Options{Workers: workers},
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, b Batch) {
+				mu.Lock()
+				batches[b] = true
+				mu.Unlock()
+			})
+		return batches
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 4, 9} {
+		got := collect(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d batches, want %d", workers, len(got), len(ref))
+		}
+		for b := range ref {
+			if !got[b] {
+				t.Fatalf("workers=%d: batch %+v missing", workers, b)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicSum(t *testing.T) {
+	// A kernel that derives its contribution from Batch.Start must merge
+	// to the same total for every worker count.
+	const n = 10_000
+	sum := func(workers int) int {
+		states := Run(n, Options{Workers: workers},
+			func(int) *int { return new(int) },
+			func(s *int, b Batch) {
+				for i := b.Start; i < b.End; i++ {
+					*s += i * i
+				}
+			})
+		total := 0
+		for _, s := range states {
+			total += *s
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, workers := range []int{2, 5, 32} {
+		if got := sum(workers); got != ref {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, got, ref)
+		}
+	}
+}
+
+func TestRunPerWorkerStateIsolation(t *testing.T) {
+	// Each state must only ever be touched by one goroutine; a counter
+	// per state summed over states equals n without any locking.
+	const n = 4096
+	states := Run(n, Options{Workers: 8, Grain: 5},
+		func(int) *int { return new(int) },
+		func(s *int, b Batch) { *s += b.Len() })
+	total := 0
+	for _, s := range states {
+		total += *s
+	}
+	if total != n {
+		t.Fatalf("items counted %d, want %d", total, n)
+	}
+}
+
+func TestRunEmptyAndTiny(t *testing.T) {
+	if states := Run(0, Options{}, func(int) int { return 0 }, func(int, Batch) {}); states != nil {
+		t.Fatalf("n=0 returned states %v", states)
+	}
+	states := Run(1, Options{Workers: 8},
+		func(int) *int { return new(int) },
+		func(s *int, b Batch) { *s += b.Len() })
+	if len(states) != 1 || *states[0] != 1 {
+		t.Fatalf("n=1: states %v", states)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(10, Options{Workers: 4, Grain: 100}); w != 1 {
+		t.Fatalf("one batch must resolve to 1 worker, got %d", w)
+	}
+	if w := Workers(1000, Options{Workers: 4, Grain: 10}); w != 4 {
+		t.Fatalf("want 4 workers, got %d", w)
+	}
+	if w := Workers(0, Options{Workers: 4}); w != 1 {
+		t.Fatalf("n=0 must resolve to 1 worker, got %d", w)
+	}
+}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/bmarks"
 	"repro/internal/defense"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -37,6 +39,11 @@ type SplitResult struct {
 type ITCRow struct {
 	Benchmark string
 	Results   map[int]SplitResult // keyed by split layer
+	// Errors records the benchmark×layer jobs that failed (keyed by
+	// split layer); Results has no entry for those layers. RunITC also
+	// returns the union of these errors, so a partial table can never
+	// render silently.
+	Errors map[int]error
 }
 
 // ITCOptions configures the Table I/II experiment.
@@ -56,6 +63,10 @@ type ITCOptions struct {
 	// Parallel runs benchmark×layer jobs concurrently (the paper's
 	// flow exploits a 128-core host the same way).
 	Parallel bool
+	// SimWorkers caps the per-job pattern-simulation worker pool for
+	// the HD/OER runs (0 = GOMAXPROCS, 1 = serial). Results are
+	// bit-identical for every setting.
+	SimWorkers int
 }
 
 func (o ITCOptions) withDefaults() ITCOptions {
@@ -78,6 +89,10 @@ func (o ITCOptions) withDefaults() ITCOptions {
 }
 
 // RunITC regenerates Tables I and II (and the footnote 6 numbers).
+// Every benchmark×layer job that fails is recorded on its row's Errors
+// map and included in the returned error (the rows are returned either
+// way, so callers can render the successful cells alongside an explicit
+// failure report instead of a silently partial table).
 func RunITC(opt ITCOptions) ([]ITCRow, error) {
 	opt = opt.withDefaults()
 	rows := make([]ITCRow, len(opt.Benchmarks))
@@ -89,16 +104,17 @@ func RunITC(opt ITCOptions) ([]ITCRow, error) {
 			jobs = append(jobs, job{bi, sl})
 		}
 	}
+	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(jobs))
 	var mu sync.Mutex
-	var firstErr error
 	run := func(j job) {
 		res, err := runOneITC(opt.Benchmarks[j.bi], j.layer, opt)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/M%d: %w", opt.Benchmarks[j.bi], j.layer, err)
+			if rows[j.bi].Errors == nil {
+				rows[j.bi].Errors = make(map[int]error)
 			}
+			rows[j.bi].Errors[j.layer] = err
 			return
 		}
 		rows[j.bi].Results[j.layer] = res
@@ -121,7 +137,16 @@ func RunITC(opt ITCOptions) ([]ITCRow, error) {
 			run(j)
 		}
 	}
-	return rows, firstErr
+	// Assemble the failure report in deterministic row/layer order.
+	var errs []error
+	for bi := range rows {
+		for _, sl := range opt.SplitLayers {
+			if err, ok := rows[bi].Errors[sl]; ok {
+				errs = append(errs, fmt.Errorf("%s/M%d: %w", rows[bi].Benchmark, sl, err))
+			}
+		}
+	}
+	return rows, errors.Join(errs...)
 }
 
 func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error) {
@@ -148,7 +173,11 @@ func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error
 		return SplitResult{}, err
 	}
 	res.CCR = metrics.ComputeCCR(art.View, art.Secret, asg)
-	d, err := metrics.Functional(orig, art.View, asg, opt.Patterns, opt.Seed+8)
+	d, err := metrics.FunctionalOpt(orig, art.View, asg, sim.CompareOptions{
+		Patterns: opt.Patterns,
+		Seed:     opt.Seed + 8,
+		Workers:  opt.SimWorkers,
+	})
 	if err != nil {
 		return SplitResult{}, err
 	}
@@ -185,6 +214,9 @@ type ISCASOptions struct {
 	// (default 0.5).
 	LiftFraction float64
 	Parallel     bool
+	// SimWorkers caps the per-job pattern-simulation worker pool
+	// (0 = GOMAXPROCS, 1 = serial).
+	SimWorkers int
 }
 
 func (o ISCASOptions) withDefaults() ISCASOptions {
@@ -206,10 +238,28 @@ func (o ISCASOptions) withDefaults() ISCASOptions {
 // SchemeNames lists the Table III columns in published order.
 func SchemeNames() []string { return []string{"perturb22", "lift12", "restore13", "proposed"} }
 
+// splitSimWorkers resolves the per-job simulation pool so that
+// job-level and pattern-level parallelism compose instead of multiply:
+// with jobs running concurrently, the default pool is GOMAXPROCS
+// divided across the jobs (at least 1), keeping the total worker and
+// net-buffer count at ~GOMAXPROCS rather than GOMAXPROCS². An explicit
+// SimWorkers setting is passed through untouched.
+func splitSimWorkers(simWorkers int, parallel bool, jobs int) int {
+	if simWorkers != 0 || !parallel || jobs <= 0 {
+		return simWorkers
+	}
+	w := runtime.GOMAXPROCS(0) / jobs
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // RunISCAS regenerates Table III: the three prior-art defenses and the
 // proposed scheme, each attacked with the proximity attack.
 func RunISCAS(opt ISCASOptions) ([]ISCASRow, error) {
 	opt = opt.withDefaults()
+	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(opt.Benchmarks))
 	rows := make([]ISCASRow, len(opt.Benchmarks))
 	var firstErr error
 	var mu sync.Mutex
@@ -268,7 +318,11 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 			return row, err
 		}
 		ccr := metrics.ComputeCCR(view, secret, asg)
-		d, err := metrics.Functional(orig, view, asg, opt.Patterns, opt.Seed+6)
+		d, err := metrics.FunctionalOpt(orig, view, asg, sim.CompareOptions{
+			Patterns: opt.Patterns,
+			Seed:     opt.Seed + 6,
+			Workers:  opt.SimWorkers,
+		})
 		if err != nil {
 			return row, err
 		}
@@ -290,7 +344,11 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 		return row, err
 	}
 	ccr := metrics.ComputeCCR(art.View, art.Secret, asg)
-	d, err := metrics.Functional(orig, art.View, asg, opt.Patterns, opt.Seed+6)
+	d, err := metrics.FunctionalOpt(orig, art.View, asg, sim.CompareOptions{
+		Patterns: opt.Patterns,
+		Seed:     opt.Seed + 6,
+		Workers:  opt.SimWorkers,
+	})
 	if err != nil {
 		return row, err
 	}
@@ -429,8 +487,10 @@ func (r IdealAttackResult) OERPercent() float64 {
 
 // RunIdealAttack performs the ideal proximity attack experiment:
 // regular nets granted, key-nets guessed randomly, repeated `runs`
-// times (the paper uses 1,000,000; the per-run check is a fast
-// simulation so large counts are feasible).
+// times (the paper uses 1,000,000). Runs are sharded across the engine
+// worker pool — each worker mutates its own clone of the recovered
+// netlist — and every run is independently seeded, so the tallies do
+// not depend on the worker count.
 func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, seed uint64) (IdealAttackResult, error) {
 	res := IdealAttackResult{Runs: runs}
 	orig, err := bmarks.Load(bench, scale)
@@ -460,34 +520,74 @@ func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, se
 		return res, err
 	}
 	keyPins := art.View.KeyPins()
-	for r := 0; r < runs; r++ {
-		asg := attack.Ideal(art.View, art.Secret, seed+uint64(r)*2654435761)
-		full := true
-		for _, cp := range keyPins {
-			guess := asg[cp.Ref]
-			if guess != art.Secret.Assignment[cp.Ref] {
-				full = false
+	// Workers share orig read-only; warm its lazily cached structures
+	// before fanning out.
+	if _, err := orig.TopoOrder(); err != nil {
+		return res, err
+	}
+
+	type iaState struct {
+		rec               *netlist.Circuit // worker-private clone (IDs preserved)
+		errRuns, fullKeys int
+		err               error
+		errRun            int
+	}
+	states := engine.Run(runs, engine.Options{},
+		func(worker int) *iaState {
+			s := &iaState{rec: rec, errRun: -1}
+			if worker > 0 {
+				s.rec = rec.Clone()
 			}
-			tie := loT
-			if rec.Gate(guess).Type == netlist.TieHi {
-				tie = hiT
+			return s
+		},
+		func(s *iaState, b engine.Batch) {
+			if s.err != nil {
+				return
 			}
-			if err := rec.SetFanin(cp.Ref.Gate, cp.Ref.Pin, tie); err != nil {
-				return res, err
+			for r := b.Start; r < b.End; r++ {
+				asg := attack.Ideal(art.View, art.Secret, seed+uint64(r)*2654435761)
+				full := true
+				for _, cp := range keyPins {
+					guess := asg[cp.Ref]
+					if guess != art.Secret.Assignment[cp.Ref] {
+						full = false
+					}
+					tie := loT
+					if s.rec.Gate(guess).Type == netlist.TieHi {
+						tie = hiT
+					}
+					if err := s.rec.SetFanin(cp.Ref.Gate, cp.Ref.Pin, tie); err != nil {
+						s.err, s.errRun = err, r
+						return
+					}
+				}
+				if full {
+					s.fullKeys++
+				}
+				d, err := sim.Compare(orig, s.rec, sim.CompareOptions{
+					Patterns: patterns,
+					Seed:     seed + uint64(r),
+					Workers:  1, // runs already saturate the pool
+				})
+				if err != nil {
+					s.err, s.errRun = err, r
+					return
+				}
+				if d.OER > 0 {
+					s.errRuns++
+				}
 			}
-		}
-		if full {
-			res.FullKeyRecoveries++
-		}
-		d, err := sim.Compare(orig, rec, sim.CompareOptions{Patterns: patterns, Seed: seed + uint64(r), ObserveState: false})
-		if err != nil {
-			return res, err
-		}
-		if d.OER > 0 {
-			res.ErrRuns++
+		})
+
+	firstErr, firstErrRun := error(nil), -1
+	for _, s := range states {
+		res.ErrRuns += s.errRuns
+		res.FullKeyRecoveries += s.fullKeys
+		if s.err != nil && (firstErrRun < 0 || s.errRun < firstErrRun) {
+			firstErr, firstErrRun = s.err, s.errRun
 		}
 	}
-	return res, nil
+	return res, firstErr
 }
 
 // Quartiles summarizes a sample for the Fig. 5 box plot.

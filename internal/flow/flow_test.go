@@ -126,6 +126,75 @@ func TestRunITCSmall(t *testing.T) {
 	}
 }
 
+// A failed benchmark×layer job must surface on the row and in the
+// returned error — never as a silently absent table cell.
+func TestRunITCAnnotatesFailedJobs(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		rows, err := RunITC(ITCOptions{
+			Benchmarks: []string{"no_such_bench", "b14"},
+			Scale:      0.03,
+			KeyBits:    48,
+			Patterns:   1 << 10,
+			Seed:       4,
+			Parallel:   parallel,
+		})
+		if err == nil {
+			t.Fatalf("parallel=%v: missing benchmark did not error", parallel)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("parallel=%v: rows: %d", parallel, len(rows))
+		}
+		bad := rows[0]
+		if len(bad.Results) != 0 {
+			t.Errorf("parallel=%v: failed row has results %v", parallel, bad.Results)
+		}
+		for _, sl := range []int{4, 6} {
+			if bad.Errors[sl] == nil {
+				t.Errorf("parallel=%v: row %q layer M%d not annotated", parallel, bad.Benchmark, sl)
+			}
+		}
+		// The sibling row must still carry its results so callers can
+		// render the successes alongside the failure report.
+		good := rows[1]
+		if len(good.Errors) != 0 {
+			t.Errorf("parallel=%v: good row annotated: %v", parallel, good.Errors)
+		}
+		for _, sl := range []int{4, 6} {
+			if _, ok := good.Results[sl]; !ok {
+				t.Errorf("parallel=%v: good row missing layer M%d", parallel, sl)
+			}
+		}
+	}
+}
+
+// The simulation worker pool must not change any reported metric.
+func TestRunITCSimWorkerInvariance(t *testing.T) {
+	run := func(workers int) []ITCRow {
+		rows, err := RunITC(ITCOptions{
+			Benchmarks: []string{"b14"},
+			Scale:      0.02,
+			KeyBits:    32,
+			Patterns:   1 << 12,
+			Seed:       6,
+			SimWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4} {
+		rows := run(workers)
+		for _, sl := range []int{4, 6} {
+			a, b := ref[0].Results[sl], rows[0].Results[sl]
+			if a.HD != b.HD || a.OER != b.OER || a.CCR != b.CCR {
+				t.Fatalf("workers=%d M%d: %+v differs from serial %+v", workers, sl, b, a)
+			}
+		}
+	}
+}
+
 func TestRunIdealAttackSmall(t *testing.T) {
 	res, err := RunIdealAttack("b14", 0.02, 32, 50, 256, 5)
 	if err != nil {
@@ -139,6 +208,25 @@ func TestRunIdealAttackSmall(t *testing.T) {
 	}
 	if res.OERPercent() < 95 {
 		t.Fatalf("ideal attack OER %.1f%%, expected ≈100%%", res.OERPercent())
+	}
+}
+
+// With more runs than one engine batch (grain 64), the ideal-attack
+// sweep spans several workers on a multi-core host; repeated
+// invocations must tally identically since every run is independently
+// seeded. This is also the -race coverage for the worker-cloned
+// netlists.
+func TestRunIdealAttackWorkerDeterminism(t *testing.T) {
+	first, err := RunIdealAttack("b14", 0.02, 16, 200, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunIdealAttack("b14", 0.02, 16, 200, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("repeated sweeps disagree: %+v vs %+v", first, second)
 	}
 }
 

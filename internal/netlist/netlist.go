@@ -136,6 +136,9 @@ type Circuit struct {
 
 	fanouts      [][]GateID
 	fanoutsValid bool
+
+	topo      []GateID
+	topoValid bool
 }
 
 // New returns an empty circuit with the given name.
@@ -241,7 +244,7 @@ func (c *Circuit) AddGate(name string, t GateType, fanin ...GateID) (GateID, err
 	case Output:
 		c.outputs = append(c.outputs, id)
 	}
-	c.fanoutsValid = false
+	c.invalidate()
 	return id, nil
 }
 
@@ -302,11 +305,14 @@ func (c *Circuit) ensureFanouts() {
 }
 
 // invalidate marks derived structures stale after an edit.
-func (c *Circuit) invalidate() { c.fanoutsValid = false }
+func (c *Circuit) invalidate() {
+	c.fanoutsValid = false
+	c.topoValid = false
+}
 
-// Invalidate marks derived structures (fanout lists) stale. Call it
-// after mutating a Gate's Fanin slice directly rather than through the
-// editing methods.
+// Invalidate marks derived structures (fanout lists, cached topological
+// order) stale. Call it after mutating a Gate's Fanin slice directly
+// rather than through the editing methods.
 func (c *Circuit) Invalidate() { c.invalidate() }
 
 // Validate checks structural well-formedness: arity rules, live fanin

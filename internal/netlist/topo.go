@@ -17,7 +17,16 @@ func (c *Circuit) combinationalFanin(id GateID) []GateID {
 // combinational core: every gate appears after all of its combinational
 // fanins. Sources (inputs, TIE cells, DFF outputs) appear first. An
 // error is returned if the combinational core contains a cycle.
+//
+// The order is cached until the next structural edit; the returned
+// slice is owned by the circuit and must not be modified. Like the
+// other lazily cached accessors, the first call after an edit is not
+// safe to race with other circuit reads — warm the cache before fanning
+// out to simulation workers.
 func (c *Circuit) TopoOrder() ([]GateID, error) {
+	if c.topoValid {
+		return c.topo, nil
+	}
 	n := len(c.gates)
 	indeg := make([]int32, n)
 	order := make([]GateID, 0, n)
@@ -50,6 +59,8 @@ func (c *Circuit) TopoOrder() ([]GateID, error) {
 	if len(order) != c.NumGates() {
 		return nil, fmt.Errorf("netlist: circuit %q has a combinational cycle (%d of %d gates ordered)", c.Name, len(order), c.NumGates())
 	}
+	c.topo = order
+	c.topoValid = true
 	return order, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -32,6 +33,11 @@ type CompareOptions struct {
 	// designs are compared combinationally with randomized state, the
 	// standard practice for locking evaluations.
 	ObserveState bool
+	// Workers caps the simulation worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Results are bit-identical for every setting: pattern
+	// words are sharded in fixed batches and each batch's stimulus is
+	// an O(1) jump into the same seed stream.
+	Workers int
 }
 
 // Compare simulates circuits a and b under identical random stimulus
@@ -61,15 +67,6 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 		return DiffStats{}, fmt.Errorf("sim: output count mismatch: %d vs %d", len(a.Outputs()), len(b.Outputs()))
 	}
 
-	rng := NewRand(opt.Seed)
-	inA := make([]uint64, len(a.Inputs()))
-	inB := make([]uint64, len(b.Inputs()))
-	stA := make([]uint64, len(a.DFFs()))
-	stB := make([]uint64, len(b.DFFs()))
-	netsA := ea.NewNetBuffer()
-	netsB := eb.NewNetBuffer()
-	var outA, outB, nsA, nsB []uint64
-
 	words := (opt.Patterns + 63) / 64
 	totalPatterns := words * 64
 	obsBits := len(a.Outputs())
@@ -80,36 +77,65 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 		return DiffStats{}, fmt.Errorf("sim: circuits have no observables")
 	}
 
-	var hdBits, errPatterns int
-	for w := 0; w < words; w++ {
-		rng.Fill(inA)
-		for i, j := range inMap {
-			inB[j] = inA[i]
-		}
-		rng.Fill(stA)
-		for i, j := range stMap {
-			stB[j] = stA[i]
-		}
-		ea.Eval(inA, stA, netsA)
-		eb.Eval(inB, stB, netsB)
-		outA = ea.OutputWords(netsA, outA)
-		outB = eb.OutputWords(netsB, outB)
-		var anyDiff uint64
-		for i := range outA {
-			d := outA[i] ^ outB[i]
-			hdBits += bits.OnesCount64(d)
-			anyDiff |= d
-		}
-		if opt.ObserveState {
-			nsA = ea.NextStateWords(netsA, nsA)
-			nsB = eb.NextStateWords(netsB, nsB)
-			for i, j := range stMap {
-				d := nsA[i] ^ nsB[j]
-				hdBits += bits.OnesCount64(d)
-				anyDiff |= d
+	// Each pattern word consumes this many stimulus words, so a worker
+	// starting at word w jumps the stream by w*stride.
+	stride := uint64(len(a.Inputs()) + len(a.DFFs()))
+
+	type cmpState struct {
+		inA, inB, stA, stB   []uint64
+		netsA, netsB         []uint64
+		outA, outB, nsA, nsB []uint64
+		hdBits, errPatterns  int
+	}
+	states := engine.Run(words, engine.Options{Workers: opt.Workers},
+		func(int) *cmpState {
+			return &cmpState{
+				inA:   make([]uint64, len(a.Inputs())),
+				inB:   make([]uint64, len(b.Inputs())),
+				stA:   make([]uint64, len(a.DFFs())),
+				stB:   make([]uint64, len(b.DFFs())),
+				netsA: ea.NewNetBuffer(),
+				netsB: eb.NewNetBuffer(),
 			}
-		}
-		errPatterns += bits.OnesCount64(anyDiff)
+		},
+		func(s *cmpState, batch engine.Batch) {
+			rng := NewRandAt(opt.Seed, uint64(batch.Start)*stride)
+			for w := batch.Start; w < batch.End; w++ {
+				rng.Fill(s.inA)
+				for i, j := range inMap {
+					s.inB[j] = s.inA[i]
+				}
+				rng.Fill(s.stA)
+				for i, j := range stMap {
+					s.stB[j] = s.stA[i]
+				}
+				ea.Eval(s.inA, s.stA, s.netsA)
+				eb.Eval(s.inB, s.stB, s.netsB)
+				s.outA = ea.OutputWords(s.netsA, s.outA)
+				s.outB = eb.OutputWords(s.netsB, s.outB)
+				var anyDiff uint64
+				for i := range s.outA {
+					d := s.outA[i] ^ s.outB[i]
+					s.hdBits += bits.OnesCount64(d)
+					anyDiff |= d
+				}
+				if opt.ObserveState {
+					s.nsA = ea.NextStateWords(s.netsA, s.nsA)
+					s.nsB = eb.NextStateWords(s.netsB, s.nsB)
+					for i, j := range stMap {
+						d := s.nsA[i] ^ s.nsB[j]
+						s.hdBits += bits.OnesCount64(d)
+						anyDiff |= d
+					}
+				}
+				s.errPatterns += bits.OnesCount64(anyDiff)
+			}
+		})
+
+	var hdBits, errPatterns int
+	for _, s := range states {
+		hdBits += s.hdBits
+		errPatterns += s.errPatterns
 	}
 	return DiffStats{
 		Patterns: totalPatterns,
@@ -150,7 +176,9 @@ func matchByName(a, b *netlist.Circuit, as, bs []netlist.GateID, kind string) ([
 
 // Activity estimates per-net switching activity (2·p·(1−p) with p the
 // signal probability) over random patterns. The result is indexed by
-// GateID and feeds the dynamic power model.
+// GateID and feeds the dynamic power model. Pattern words are sharded
+// across the engine worker pool; the count merge is exact, so results
+// do not depend on the worker count.
 func Activity(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) {
 	e, err := NewEvaluator(c)
 	if err != nil {
@@ -160,17 +188,37 @@ func Activity(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) 
 		patterns = 4096
 	}
 	words := (patterns + 63) / 64
-	rng := NewRand(seed)
-	in := make([]uint64, len(c.Inputs()))
-	st := make([]uint64, len(c.DFFs()))
-	nets := e.NewNetBuffer()
+	stride := uint64(len(c.Inputs()) + len(c.DFFs()))
+
+	type actState struct {
+		in, st, nets []uint64
+		ones         []int
+	}
+	states := engine.Run(words, engine.Options{},
+		func(int) *actState {
+			return &actState{
+				in:   make([]uint64, len(c.Inputs())),
+				st:   make([]uint64, len(c.DFFs())),
+				nets: e.NewNetBuffer(),
+				ones: make([]int, c.NumIDs()),
+			}
+		},
+		func(s *actState, batch engine.Batch) {
+			rng := NewRandAt(seed, uint64(batch.Start)*stride)
+			for w := batch.Start; w < batch.End; w++ {
+				rng.Fill(s.in)
+				rng.Fill(s.st)
+				e.Eval(s.in, s.st, s.nets)
+				for i, v := range s.nets {
+					s.ones[i] += bits.OnesCount64(v)
+				}
+			}
+		})
+
 	ones := make([]int, c.NumIDs())
-	for w := 0; w < words; w++ {
-		rng.Fill(in)
-		rng.Fill(st)
-		e.Eval(in, st, nets)
-		for i, v := range nets {
-			ones[i] += bits.OnesCount64(v)
+	for _, s := range states {
+		for i, n := range s.ones {
+			ones[i] += n
 		}
 	}
 	total := float64(words * 64)

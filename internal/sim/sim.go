@@ -10,15 +10,29 @@ import (
 	"repro/internal/netlist"
 )
 
-// Evaluator is a compiled simulator for one circuit. It is safe for
-// concurrent use as long as each goroutine supplies its own net buffer.
+// Evaluator is a compiled simulator for one circuit: the topological
+// order is flattened into a dense op list with slice-indexed operands,
+// so the inner Eval loop performs no map lookups and never touches the
+// circuit graph. It is safe for concurrent use as long as each
+// goroutine supplies its own net buffer.
 type Evaluator struct {
-	c     *netlist.Circuit
-	order []netlist.GateID
-	// inPos/statePos give, for source gates, their index into the
-	// input and state vectors.
-	inPos    map[netlist.GateID]int
-	statePos map[netlist.GateID]int
+	c      *netlist.Circuit
+	nIn    int
+	nState int
+	// ops is the evaluation plan in topological order; fanins is the
+	// flat operand pool the ops index into.
+	ops    []evalOp
+	fanins []int32
+}
+
+// evalOp is one compiled gate evaluation. For Input/DFF sources, src is
+// the index into the input/state vector; for everything else src is the
+// offset of the gate's n operands in the fanin pool.
+type evalOp struct {
+	typ netlist.GateType
+	out int32
+	src int32
+	n   int32
 }
 
 // NewEvaluator compiles the circuit for simulation. The circuit must
@@ -29,16 +43,37 @@ func NewEvaluator(c *netlist.Circuit) (*Evaluator, error) {
 		return nil, err
 	}
 	e := &Evaluator{
-		c:        c,
-		order:    order,
-		inPos:    make(map[netlist.GateID]int, len(c.Inputs())),
-		statePos: make(map[netlist.GateID]int),
+		c:      c,
+		nIn:    len(c.Inputs()),
+		nState: len(c.DFFs()),
+		ops:    make([]evalOp, 0, len(order)),
 	}
+	inPos := make(map[netlist.GateID]int32, e.nIn)
 	for i, id := range c.Inputs() {
-		e.inPos[id] = i
+		inPos[id] = int32(i)
 	}
+	statePos := make(map[netlist.GateID]int32, e.nState)
 	for i, id := range c.DFFs() {
-		e.statePos[id] = i
+		statePos[id] = int32(i)
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		op := evalOp{typ: g.Type, out: int32(id)}
+		switch g.Type {
+		case netlist.Input:
+			op.src = inPos[id]
+		case netlist.DFF:
+			op.src = statePos[id]
+		case netlist.TieHi, netlist.TieLo:
+			// no operands
+		default:
+			op.src = int32(len(e.fanins))
+			op.n = int32(len(g.Fanin))
+			for _, f := range g.Fanin {
+				e.fanins = append(e.fanins, int32(f))
+			}
+		}
+		e.ops = append(e.ops, op)
 	}
 	return e, nil
 }
@@ -47,10 +82,10 @@ func NewEvaluator(c *netlist.Circuit) (*Evaluator, error) {
 func (e *Evaluator) Circuit() *netlist.Circuit { return e.c }
 
 // NumInputs returns the width of the input vector.
-func (e *Evaluator) NumInputs() int { return len(e.c.Inputs()) }
+func (e *Evaluator) NumInputs() int { return e.nIn }
 
 // NumState returns the width of the state (flip-flop) vector.
-func (e *Evaluator) NumState() int { return len(e.statePos) }
+func (e *Evaluator) NumState() int { return e.nState }
 
 // NewNetBuffer allocates a buffer sized for Eval.
 func (e *Evaluator) NewNetBuffer() []uint64 { return make([]uint64, e.c.NumIDs()) }
@@ -61,59 +96,59 @@ func (e *Evaluator) NewNetBuffer() []uint64 { return make([]uint64, e.c.NumIDs()
 // has no flip-flops). nets must have length NumIDs and receives the
 // value of every net.
 func (e *Evaluator) Eval(in, state, nets []uint64) {
-	c := e.c
-	for _, id := range e.order {
-		g := c.Gate(id)
+	fan := e.fanins
+	for i := range e.ops {
+		op := &e.ops[i]
 		var v uint64
-		switch g.Type {
+		switch op.typ {
 		case netlist.Input:
-			v = in[e.inPos[id]]
+			v = in[op.src]
 		case netlist.DFF:
 			if state != nil {
-				v = state[e.statePos[id]]
+				v = state[op.src]
 			}
 		case netlist.TieHi:
 			v = ^uint64(0)
 		case netlist.TieLo:
 			v = 0
 		case netlist.Buf, netlist.Output:
-			v = nets[g.Fanin[0]]
+			v = nets[fan[op.src]]
 		case netlist.Not:
-			v = ^nets[g.Fanin[0]]
+			v = ^nets[fan[op.src]]
 		case netlist.And:
 			v = ^uint64(0)
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v &= nets[f]
 			}
 		case netlist.Nand:
 			v = ^uint64(0)
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v &= nets[f]
 			}
 			v = ^v
 		case netlist.Or:
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v |= nets[f]
 			}
 		case netlist.Nor:
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v |= nets[f]
 			}
 			v = ^v
 		case netlist.Xor:
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v ^= nets[f]
 			}
 		case netlist.Xnor:
-			for _, f := range g.Fanin {
+			for _, f := range fan[op.src : op.src+op.n] {
 				v ^= nets[f]
 			}
 			v = ^v
 		case netlist.Mux:
-			s := nets[g.Fanin[0]]
-			v = (^s & nets[g.Fanin[1]]) | (s & nets[g.Fanin[2]])
+			s := nets[fan[op.src]]
+			v = (^s & nets[fan[op.src+1]]) | (s & nets[fan[op.src+2]])
 		}
-		nets[id] = v
+		nets[op.out] = v
 	}
 }
 
@@ -151,6 +186,14 @@ type Rand struct{ s uint64 }
 // NewRand seeds a generator; the same seed always yields the same
 // stimulus stream.
 func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+// NewRandAt returns a generator positioned skip words into the stream
+// of NewRand(seed). The splitmix64 state advances by a fixed increment
+// per word, so the jump is O(1); parallel workers use it to start
+// mid-stream and reproduce the serial stimulus bit-for-bit.
+func NewRandAt(seed, skip uint64) *Rand {
+	return &Rand{s: seed + skip*0x9e3779b97f4a7c15}
+}
 
 // Word returns the next 64 random bits.
 func (r *Rand) Word() uint64 {
