@@ -15,8 +15,10 @@ import (
 	"repro/internal/attack"
 	"repro/internal/bmarks"
 	"repro/internal/flow"
+	"repro/internal/lec"
 	"repro/internal/locking"
 	"repro/internal/metrics"
+	"repro/internal/sat"
 	"repro/internal/sim"
 )
 
@@ -24,6 +26,12 @@ const (
 	benchScale    = 0.05
 	benchKeyBits  = 64
 	benchPatterns = 1 << 13
+	// benchSATScale sizes the solver-path benchmarks (LEC and SAT
+	// attack): the paper's designs are full-size ITC'99 with 128-bit
+	// keys; 0.1-scale b14 with a 64-bit key is the configuration whose
+	// solver workload matches that shape while finishing in tens of
+	// milliseconds.
+	benchSATScale = 0.1
 )
 
 // engineModes drives each table benchmark with the pattern-simulation
@@ -264,6 +272,121 @@ func BenchmarkIdealAttack(b *testing.B) {
 			res.Runs, res.OERPercent(), res.FullKeyRecoveries)
 		b.ReportMetric(res.OERPercent(), "OER_%")
 		b.ReportMetric(float64(res.FullKeyRecoveries), "fullKeyHits")
+	}
+}
+
+// BenchmarkSATSolver exercises the CDCL core directly on two
+// deterministic families: a resolution-hard pigeonhole instance and a
+// batch of random 3-SAT instances near the phase transition.
+func BenchmarkSATSolver(b *testing.B) {
+	b.Run("pigeonhole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.New()
+			holes := 8
+			v := make([][]int, holes+1)
+			for p := range v {
+				v[p] = make([]int, holes)
+				for h := range v[p] {
+					v[p][h] = s.NewVar()
+				}
+			}
+			for p := 0; p <= holes; p++ {
+				s.AddClause(v[p]...)
+			}
+			for h := 0; h < holes; h++ {
+				for p1 := 0; p1 <= holes; p1++ {
+					for p2 := p1 + 1; p2 <= holes; p2++ {
+						s.AddClause(-v[p1][h], -v[p2][h])
+					}
+				}
+			}
+			if s.Solve() != sat.Unsat {
+				b.Fatal("PHP must be UNSAT")
+			}
+			b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
+		}
+	})
+	b.Run("rnd3sat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := uint64(0xdecafbad)
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for inst := 0; inst < 20; inst++ {
+				s := sat.New()
+				numVars := 140
+				for v := 0; v < numVars; v++ {
+					s.NewVar()
+				}
+				for cl := 0; cl < int(4.2*float64(numVars)); cl++ {
+					lits := make([]int, 3)
+					for j := range lits {
+						v := 1 + next(numVars)
+						if next(2) == 1 {
+							v = -v
+						}
+						lits[j] = v
+					}
+					s.AddClause(lits...)
+				}
+				s.Solve()
+			}
+		}
+	})
+}
+
+// BenchmarkLEC measures SAT-based logic equivalence checking (the
+// Fig. 3 Conformal substitute) on a b14-scale locked-vs-original miter
+// with the simulation prefilter disabled, so the solver does all the
+// work.
+func BenchmarkLEC(b *testing.B) {
+	orig, err := bmarks.Load("b14", benchSATScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: benchKeyBits, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lec.Check(orig, lk.Circuit, lec.Options{PrefilterPatterns: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("locked circuit must be equivalent under the correct key")
+		}
+	}
+}
+
+// BenchmarkSATAttack measures the full oracle-guided SAT attack on a
+// b14-scale locked design: incremental shared encoding, batched
+// bit-parallel oracle queries, cofactor-cone constraints.
+func BenchmarkSATAttack(b *testing.B) {
+	orig, err := bmarks.Load("b14", benchSATScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: benchKeyBits, Seed: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := attack.SATAttack(lk, orig, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("attack did not converge")
+		}
+		b.ReportMetric(float64(res.Iterations), "queries")
+		b.ReportMetric(float64(res.AddedClauses)/float64(res.Iterations), "clauses/query")
+		b.ReportMetric(float64(res.OracleEvals), "oracleEvals")
 	}
 }
 

@@ -1,0 +1,116 @@
+// Command benchjson runs the repository's Go benchmarks and emits one
+// BENCH_<n>.json file per benchmark with its ns/op and custom metrics,
+// so CI and the PR workflow can archive and diff benchmark results
+// without parsing `go test` output.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regexp] [-benchtime 1x] [-pkg .] [-out dir] [-note text]
+//
+// The default pattern covers the paper-table benchmarks and the SAT
+// solver / LEC / SAT-attack benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Result is the JSON shape of one benchmark result.
+type Result struct {
+	// Name is the benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkSATSolver/pigeonhole-8".
+	Name string `json:"name"`
+	// Iterations is b.N of the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every custom b.ReportMetric value by unit, e.g.
+	// {"queries": 18, "clauses/query": 172.3}.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Note carries free-form context (e.g. "after PR 2"; -note flag).
+	Note string `json:"note,omitempty"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkTable|BenchmarkFig5|BenchmarkSATSolver|BenchmarkLEC|BenchmarkSATAttack", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", ".", "directory for BENCH_<n>.json files")
+	note := flag.String("note", "", "free-form note recorded in every result")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n", err)
+		os.Exit(1)
+	}
+	results := parse(string(outBytes))
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		r.Note = *note
+		path := filepath.Join(*out, fmt.Sprintf("BENCH_%d.json", i+1))
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\t%s\t%.0f ns/op\n", path, r.Name, r.NsPerOp)
+	}
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   3   347101951 ns/op   18.00 queries   172.3 clauses/query
+//
+// from go test output.
+func parse(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = val
+			} else {
+				r.Metrics[fields[i+1]] = val
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results = append(results, r)
+	}
+	return results
+}

@@ -2,6 +2,7 @@ package atpg
 
 import (
 	"math/bits"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/netlist"
@@ -88,13 +89,12 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 						cone = append(cone, id)
 					}
 				}
-				// Insertion sort by topological position (cones are
-				// usually small relative to the circuit).
-				for a := 1; a < len(cone); a++ {
-					for b := a; b > 0 && pos[cone[b]] < pos[cone[b-1]]; b-- {
-						cone[b], cone[b-1] = cone[b-1], cone[b]
-					}
-				}
+				// Sort by topological position; large cones on
+				// scaled-up benchmarks made the former insertion sort
+				// quadratic.
+				sort.Slice(cone, func(x, y int) bool {
+					return pos[cone[x]] < pos[cone[y]]
+				})
 				cones[i] = cone
 			}
 		})

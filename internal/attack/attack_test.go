@@ -273,6 +273,122 @@ func TestSATAttackWithOracleSucceeds(t *testing.T) {
 	t.Logf("SAT attack converged after %d oracle queries", res.Iterations)
 }
 
+// TestSATAttackClauseGrowthBounded: the incremental attack encodes the
+// keyed copies once; every iteration afterwards adds only blocking
+// clauses over the inputs and cofactor-cone consistency constraints.
+// All iterations together must stay well below one re-encoding of the
+// base (the pre-rewrite attack added TWO full encodings per iteration).
+func TestSATAttackClauseGrowthBounded(t *testing.T) {
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "satg", Inputs: 12, Outputs: 6, Gates: 300, Seed: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: 16, Seed: 181})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SATAttack(lk, orig, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("attack did not converge in %d iterations", res.Iterations)
+	}
+	recovered, err := lk.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := sim.Equivalent(orig, recovered, 16384, 182)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("recovered key is not functionally correct")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("expected at least one distinguishing input")
+	}
+	perIter := float64(res.AddedClauses) / float64(res.Iterations)
+	base := float64(res.BaseClauses)
+	// The old encoding added ≈ BaseClauses per iteration (two copies of
+	// a single-circuit encoding). Require at least a 4× reduction per
+	// iteration and that the whole run stays below one re-encoding.
+	if perIter > base/4 {
+		t.Errorf("clause growth per iteration %.0f exceeds base/4 (%.0f): encoding is not incremental", perIter, base/4)
+	}
+	t.Logf("base %d clauses, %d iterations added %d (%.1f/iter), %d solve calls, %d oracle evals",
+		res.BaseClauses, res.Iterations, res.AddedClauses, perIter, res.SolveCalls, res.OracleEvals)
+}
+
+// TestSATAttackBatchSizes: every batch size must recover a correct key;
+// batching only changes how many distinguishing inputs are mined per
+// bit-parallel oracle evaluation.
+func TestSATAttackBatchSizes(t *testing.T) {
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "satb", Inputs: 10, Outputs: 5, Gates: 150, Seed: 190})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: 10, Seed: 191})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 4, 64} {
+		res, err := SATAttackOpt(lk, orig, SATAttackOptions{MaxIter: 300, BatchSize: batch})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if !res.Converged {
+			t.Fatalf("batch %d: did not converge (%d iterations)", batch, res.Iterations)
+		}
+		recovered, err := lk.ApplyKey(res.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := sim.Equivalent(orig, recovered, 16384, 192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("batch %d: recovered key is not functionally correct", batch)
+		}
+		if batch > 1 && res.OracleEvals > res.Iterations {
+			t.Fatalf("batch %d: %d oracle evals for %d queries — batching not effective", batch, res.OracleEvals, res.Iterations)
+		}
+	}
+}
+
+// TestSATAttackATPGLocked: the incremental attack also handles the
+// paper's cost-driven ATPG locking scheme (denser restore logic than
+// random XOR insertion).
+func TestSATAttackATPGLocked(t *testing.T) {
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "sata", Inputs: 12, Outputs: 6, Gates: 250, Seed: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, _, err := locking.ATPGLock(orig, locking.ATPGLockOptions{KeyBits: 12, Seed: 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SATAttack(lk, orig, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("attack did not converge in %d iterations", res.Iterations)
+	}
+	recovered, err := lk.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := sim.Equivalent(orig, recovered, 16384, 202)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("recovered key is not functionally correct")
+	}
+}
+
 func TestCycleRepairProperty(t *testing.T) {
 	// Even a pathological random assignment must be repaired into a
 	// valid netlist.

@@ -18,6 +18,35 @@ type SATResult struct {
 	Iterations int
 	// Converged is true when no distinguishing input remained.
 	Converged bool
+	// OracleEvals is the number of bit-parallel oracle evaluations; each
+	// call answers up to 64 distinguishing-input queries at once.
+	OracleEvals int
+	// SolveCalls is the number of SAT solver invocations.
+	SolveCalls int
+	// BaseClauses is the problem-clause count of the one-time shared
+	// encoding (both keyed copies plus the miter).
+	BaseClauses int
+	// AddedClauses is the number of problem clauses added across all
+	// iterations (cofactor-cone constraints and retired batch blockers).
+	// The incremental encoding keeps this far below re-encoding the
+	// circuit per iteration; the regression tests assert the bound.
+	AddedClauses int
+}
+
+// SATAttackOptions tunes SATAttackOpt.
+type SATAttackOptions struct {
+	// MaxIter caps the number of distinguishing-input queries
+	// (default 256).
+	MaxIter int
+	// BatchSize is the number of distinguishing inputs mined per oracle
+	// round; one bit-parallel oracle Eval answers the whole batch
+	// (capped at 64, the simulator's word width). The default of 1
+	// minimizes total queries and wall clock — every input is mined
+	// with all previous constraints in place; larger batches trade
+	// extra (partially redundant) queries for up to 64× fewer oracle
+	// round trips, which wins when the oracle is a physical chip rather
+	// than an in-process simulation.
+	BatchSize int
 }
 
 // SATAttack runs the oracle-guided key-extraction attack of
@@ -31,20 +60,67 @@ type SATResult struct {
 //
 // The oracle must be the original (unlocked) circuit.
 func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATResult, error) {
+	return SATAttackOpt(lk, oracle, SATAttackOptions{MaxIter: maxIter})
+}
+
+// SATAttackOpt is SATAttack with explicit options. The attack is
+// incremental: the two keyed copies and the miter are Tseitin-encoded
+// exactly once; each distinguishing input adds only (a) a blocking
+// clause over the shared input variables, retired per batch through an
+// activation literal, and (b) oracle-consistency constraints encoded
+// over the key-dependent cofactor cone of the circuit under that input
+// (constant nets are folded away, so the growth per iteration is
+// proportional to the key cone, not the circuit).
+func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOptions) (*SATResult, error) {
+	maxIter := opt.MaxIter
 	if maxIter <= 0 {
 		maxIter = 256
+	}
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	if batch > 64 {
+		batch = 64
 	}
 	c := lk.Circuit
 	s := sat.New()
 
-	// Shared primary input and state variables.
+	// Shared primary input and state variables, in circuit order.
 	shared := make(map[string]int)
+	type diVar struct {
+		v     int // SAT variable in the shared encoding
+		inPos int // oracle input-word index, or -1
+		stPos int // oracle state-word index, or -1
+	}
+	inPos := make(map[string]int)
+	for i, id := range oracle.Inputs() {
+		inPos[oracle.Gate(id).Name] = i
+	}
+	stPos := make(map[string]int)
+	for i, id := range oracle.DFFs() {
+		stPos[oracle.Gate(id).Name] = i
+	}
+	var diVars []diVar
+	addShared := func(name string) {
+		v := s.NewVar()
+		shared[name] = v
+		dv := diVar{v: v, inPos: -1, stPos: -1}
+		if p, ok := inPos[name]; ok {
+			dv.inPos = p
+		}
+		if p, ok := stPos[name]; ok {
+			dv.stPos = p
+		}
+		diVars = append(diVars, dv)
+	}
 	for _, id := range c.Inputs() {
-		shared[c.Gate(id).Name] = s.NewVar()
+		addShared(c.Gate(id).Name)
 	}
 	for _, id := range c.DFFs() {
-		shared[c.Gate(id).Name] = s.NewVar()
+		addShared(c.Gate(id).Name)
 	}
+
 	// Two key vectors.
 	k1 := make([]int, len(lk.KeyBits))
 	k2 := make([]int, len(lk.KeyBits))
@@ -52,24 +128,31 @@ func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATRe
 		k1[i] = s.NewVar()
 		k2[i] = s.NewVar()
 	}
-	varsA, err := encodeKeyed(s, c, lk, shared, k1)
+	// The two keyed copies share one signature table: every net whose
+	// function does not depend on the key collapses into a single
+	// encoding (signatures follow the SAT variables, so the two key
+	// vectors keep the key cones apart).
+	sigTable := make(map[uint64]int)
+	varsA, err := encodeKeyed(s, c, lk, shared, k1, sigTable)
 	if err != nil {
 		return nil, err
 	}
-	varsB, err := encodeKeyed(s, c, lk, shared, k2)
+	varsB, err := encodeKeyed(s, c, lk, shared, k2, sigTable)
 	if err != nil {
 		return nil, err
 	}
 
-	// Conditional miter: active → outputs differ somewhere.
+	// Conditional miter: active → outputs differ somewhere. Observables
+	// shared between the copies are key-independent and can never
+	// distinguish two keys; they need no difference detector.
 	active := s.NewVar()
 	var diffs []int
 	addDiff := func(va, vb int) {
+		if va == vb {
+			return
+		}
 		d := s.NewVar()
-		s.AddClause(-d, va, vb)
-		s.AddClause(-d, -va, -vb)
-		s.AddClause(d, -va, vb)
-		s.AddClause(d, va, -vb)
+		lec.XorClauses(s, d, va, vb)
 		diffs = append(diffs, d)
 	}
 	for _, o := range c.Outputs() {
@@ -88,71 +171,107 @@ func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATRe
 	oin := make([]uint64, len(oracle.Inputs()))
 	ost := make([]uint64, len(oracle.DFFs()))
 	nets := ev.NewNetBuffer()
-	inPos := make(map[string]int)
-	for i, id := range oracle.Inputs() {
-		inPos[oracle.Gate(id).Name] = i
-	}
-	stPos := make(map[string]int)
-	for i, id := range oracle.DFFs() {
-		stPos[oracle.Gate(id).Name] = i
+
+	cof, err := newCofEncoder(c, lk)
+	if err != nil {
+		return nil, err
 	}
 
-	res := &SATResult{}
-	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		if s.Solve(active) != sat.Sat {
+	res := &SATResult{BaseClauses: s.NumProblemClauses()}
+	dis := make([][]bool, 0, batch)
+	for res.Iterations < maxIter {
+		// Mine a batch of distinct distinguishing inputs. Distinctness
+		// within the batch is enforced by blocking clauses gated on a
+		// per-batch activation literal, retired once the batch's real
+		// constraints are in place.
+		dis = dis[:0]
+		blockAct := 0
+		assume := []int{active}
+		for len(dis) < batch && res.Iterations+len(dis) < maxIter {
+			st := s.Solve(assume...)
+			res.SolveCalls++
+			if st != sat.Sat {
+				break
+			}
+			di := make([]bool, len(diVars))
+			for i, dv := range diVars {
+				di[i] = s.Value(dv.v)
+			}
+			dis = append(dis, di)
+			if len(dis) >= batch || res.Iterations+len(dis) >= maxIter {
+				break // no further mining this batch: skip the blocker
+			}
+			if blockAct == 0 {
+				blockAct = s.NewVar()
+				assume = append(assume, blockAct)
+			}
+			cl := make([]int, 0, len(diVars)+1)
+			cl = append(cl, -blockAct)
+			for i, dv := range diVars {
+				if di[i] {
+					cl = append(cl, -dv.v)
+				} else {
+					cl = append(cl, dv.v)
+				}
+			}
+			s.AddClause(cl...)
+		}
+		if blockAct != 0 {
+			s.AddClause(-blockAct) // retire the batch blockers
+		}
+		if len(dis) == 0 {
 			res.Converged = true
 			break
 		}
-		// Distinguishing input found: read it, query the oracle.
+
+		// One bit-parallel oracle evaluation answers the whole batch:
+		// bit t of every input word carries distinguishing input t.
 		for i := range oin {
 			oin[i] = 0
 		}
 		for i := range ost {
 			ost[i] = 0
 		}
-		inputVals := make(map[string]bool, len(shared))
-		for name, v := range shared {
-			val := s.Value(v)
-			inputVals[name] = val
-			if val {
-				if p, ok := inPos[name]; ok {
-					oin[p] = 1
+		for t, di := range dis {
+			for i, dv := range diVars {
+				if !di[i] {
+					continue
 				}
-				if p, ok := stPos[name]; ok {
-					ost[p] = 1
+				if dv.inPos >= 0 {
+					oin[dv.inPos] |= 1 << uint(t)
+				}
+				if dv.stPos >= 0 {
+					ost[dv.stPos] |= 1 << uint(t)
 				}
 			}
 		}
 		ev.Eval(oin, ost, nets)
-		// Constrain both copies to match the oracle on this input: add
-		// two fresh single-pattern encodings.
-		for _, kv := range [][]int{k1, k2} {
-			vars, err := encodeKeyedFixed(s, c, lk, inputVals, kv)
-			if err != nil {
+		res.OracleEvals++
+
+		// Constrain both keyed copies to match the oracle on every
+		// input of the batch, over the key-dependent cone only. The
+		// cofactor pass is key-independent and runs once per input.
+		for t, di := range dis {
+			obs := make([]bool, 0, len(oracle.Outputs())+len(oracle.DFFs()))
+			for _, o := range oracle.Outputs() {
+				obs = append(obs, nets[o]>>uint(t)&1 == 1)
+			}
+			for _, ff := range oracle.DFFs() {
+				obs = append(obs, nets[oracle.Gate(ff).Fanin[0]]>>uint(t)&1 == 1)
+			}
+			if err := cof.cofactor(di); err != nil {
 				return nil, err
 			}
-			for i, o := range oracle.Outputs() {
-				bit := nets[o]&1 == 1
-				lockedOut := c.Outputs()[i]
-				v := vars[c.Gate(lockedOut).Fanin[0]]
-				if bit {
-					s.AddClause(v)
-				} else {
-					s.AddClause(-v)
-				}
+			if err := cof.constrain(s, k1, obs); err != nil {
+				return nil, err
 			}
-			for i, ff := range oracle.DFFs() {
-				bit := nets[oracle.Gate(ff).Fanin[0]]&1 == 1
-				lockedFF := c.DFFs()[i]
-				v := vars[c.Gate(lockedFF).Fanin[0]]
-				if bit {
-					s.AddClause(v)
-				} else {
-					s.AddClause(-v)
-				}
+			if err := cof.constrain(s, k2, obs); err != nil {
+				return nil, err
 			}
+			res.Iterations++
 		}
 	}
+	res.AddedClauses = s.NumProblemClauses() - res.BaseClauses
 	if !res.Converged {
 		return res, nil
 	}
@@ -160,6 +279,7 @@ func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATRe
 	if s.Solve(-active) != sat.Sat {
 		return nil, fmt.Errorf("attack: SAT attack converged but no consistent key exists")
 	}
+	res.SolveCalls++
 	res.Key.Bits = make([]bool, len(k1))
 	for i, v := range k1 {
 		res.Key.Bits[i] = s.Value(v)
@@ -168,8 +288,9 @@ func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATRe
 }
 
 // encodeKeyed encodes the locked circuit with its key TIE cells bound
-// to the given key variables and inputs bound to shared variables.
-func encodeKeyed(s *sat.Solver, c *netlist.Circuit, lk *locking.Locked, shared map[string]int, keyVars []int) (map[netlist.GateID]int, error) {
+// to the given key variables and inputs bound to shared variables,
+// sharing key-independent structure through sigTable.
+func encodeKeyed(s *sat.Solver, c *netlist.Circuit, lk *locking.Locked, shared map[string]int, keyVars []int, sigTable map[uint64]int) (lec.VarMap, error) {
 	bound := make(map[string]int, len(shared)+len(keyVars))
 	for name, v := range shared {
 		bound[name] = v
@@ -178,27 +299,317 @@ func encodeKeyed(s *sat.Solver, c *netlist.Circuit, lk *locking.Locked, shared m
 		bound[c.Gate(kb.Tie).Name] = keyVars[i]
 	}
 	enc := lec.NewEncoder(s)
-	enc.Bind(c, bound)
+	enc.Bind(bound)
+	enc.ShareStructure(sigTable)
 	return enc.Encode(c)
 }
 
-// encodeKeyedFixed encodes the locked circuit with inputs fixed to
-// concrete values and TIE cells bound to key variables.
-func encodeKeyedFixed(s *sat.Solver, c *netlist.Circuit, lk *locking.Locked, inputVals map[string]bool, keyVars []int) (map[netlist.GateID]int, error) {
-	bound := make(map[string]int, len(inputVals)+len(keyVars))
-	for name, val := range inputVals {
-		v := s.NewVar()
-		if val {
-			s.AddClause(v)
-		} else {
-			s.AddClause(-v)
-		}
-		bound[name] = v
+// cofEncoder adds oracle-consistency constraints for one concrete
+// input: it cofactors the locked circuit under the input (ternary
+// constant propagation with the key TIE cells as unknowns) and Tseitin-
+// encodes only the key-dependent nets, folding constants into the
+// clauses. Everything outside the key cone costs zero variables and
+// zero clauses.
+type cofEncoder struct {
+	c      *netlist.Circuit
+	order  []netlist.GateID
+	keyIdx []int // GateID -> key-bit index, or -1
+	inIdx  []int // GateID -> distinguishing-input bit index, or -1
+	obsNet []netlist.GateID
+	val    []int8 // scratch: per-net cofactor value (0, 1, or -1 = key-dependent)
+	lit    []int  // scratch: per-net literal for key-dependent nets
+	clBuf  []int
+}
+
+func newCofEncoder(c *netlist.Circuit, lk *locking.Locked) (*cofEncoder, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &cofEncoder{
+		c:      c,
+		order:  order,
+		keyIdx: make([]int, c.NumIDs()),
+		inIdx:  make([]int, c.NumIDs()),
+		val:    make([]int8, c.NumIDs()),
+		lit:    make([]int, c.NumIDs()),
+	}
+	for i := range e.keyIdx {
+		e.keyIdx[i] = -1
+		e.inIdx[i] = -1
 	}
 	for i, kb := range lk.KeyBits {
-		bound[c.Gate(kb.Tie).Name] = keyVars[i]
+		e.keyIdx[kb.Tie] = i
 	}
-	enc := lec.NewEncoder(s)
-	enc.Bind(c, bound)
-	return enc.Encode(c)
+	n := 0
+	for _, id := range c.Inputs() {
+		e.inIdx[id] = n
+		n++
+	}
+	for _, id := range c.DFFs() {
+		e.inIdx[id] = n
+		n++
+	}
+	for _, o := range c.Outputs() {
+		e.obsNet = append(e.obsNet, c.Gate(o).Fanin[0])
+	}
+	for _, ff := range c.DFFs() {
+		e.obsNet = append(e.obsNet, c.Gate(ff).Fanin[0])
+	}
+	return e, nil
+}
+
+// cofactor computes the ternary cofactor values of every net under
+// input di: 0/1 constants, or -1 for nets whose value varies with the
+// key. The pass is key-independent; run it once per input, then call
+// constrain once per key copy.
+func (e *cofEncoder) cofactor(di []bool) error {
+	c := e.c
+	for _, id := range e.order {
+		g := c.Gate(id)
+		var v int8
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			v = 0
+			if di[e.inIdx[id]] {
+				v = 1
+			}
+		case netlist.TieHi:
+			if e.keyIdx[id] >= 0 {
+				v = -1
+			} else {
+				v = 1
+			}
+		case netlist.TieLo:
+			if e.keyIdx[id] >= 0 {
+				v = -1
+			} else {
+				v = 0
+			}
+		case netlist.Buf, netlist.Output:
+			v = e.val[g.Fanin[0]]
+		case netlist.Not:
+			v = e.val[g.Fanin[0]]
+			if v >= 0 {
+				v = 1 - v
+			}
+		case netlist.And, netlist.Nand:
+			v = 1
+			for _, f := range g.Fanin {
+				fv := e.val[f]
+				if fv == 0 {
+					v = 0
+					break
+				}
+				if fv < 0 {
+					v = -1
+				}
+			}
+			if v >= 0 && g.Type == netlist.Nand {
+				v = 1 - v
+			}
+		case netlist.Or, netlist.Nor:
+			v = 0
+			for _, f := range g.Fanin {
+				fv := e.val[f]
+				if fv == 1 {
+					v = 1
+					break
+				}
+				if fv < 0 {
+					v = -1
+				}
+			}
+			if v >= 0 && g.Type == netlist.Nor {
+				v = 1 - v
+			}
+		case netlist.Xor, netlist.Xnor:
+			v = 0
+			for _, f := range g.Fanin {
+				fv := e.val[f]
+				if fv < 0 {
+					v = -1
+					break
+				}
+				v ^= fv
+			}
+			if v >= 0 && g.Type == netlist.Xnor {
+				v = 1 - v
+			}
+		case netlist.Mux:
+			sel := e.val[g.Fanin[0]]
+			a, b := e.val[g.Fanin[1]], e.val[g.Fanin[2]]
+			switch {
+			case sel == 0:
+				v = a
+			case sel == 1:
+				v = b
+			case a >= 0 && a == b:
+				v = a
+			default:
+				v = -1
+			}
+		default:
+			return fmt.Errorf("attack: cannot cofactor gate type %v", g.Type)
+		}
+		e.val[id] = v
+	}
+	return nil
+}
+
+// constrain encodes the key-dependent nets of the current cofactor
+// (see cofactor) for one key copy, with constant fanins folded away,
+// and forces the observables to the oracle outputs obs (outputs then
+// next-state bits, matching obsNet). Single-fanin survivors become
+// literal aliases (no variable, no clause).
+func (e *cofEncoder) constrain(s *sat.Solver, kv []int, obs []bool) error {
+	c := e.c
+	for _, id := range e.order {
+		if e.val[id] >= 0 {
+			continue
+		}
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.TieHi, netlist.TieLo:
+			e.lit[id] = kv[e.keyIdx[id]]
+		case netlist.Buf, netlist.Output:
+			e.lit[id] = e.lit[g.Fanin[0]]
+		case netlist.Not:
+			e.lit[id] = -e.lit[g.Fanin[0]]
+		case netlist.And, netlist.Nand:
+			// Constant fanins are all 1 here (a 0 would have made the
+			// gate constant): drop them.
+			syms := e.clBuf[:0]
+			for _, f := range g.Fanin {
+				if e.val[f] < 0 {
+					syms = append(syms, e.lit[f])
+				}
+			}
+			e.lit[id] = e.encodeAndOr(s, syms, g.Type == netlist.Nand, true)
+			e.clBuf = syms[:0]
+		case netlist.Or, netlist.Nor:
+			syms := e.clBuf[:0]
+			for _, f := range g.Fanin {
+				if e.val[f] < 0 {
+					syms = append(syms, e.lit[f])
+				}
+			}
+			e.lit[id] = e.encodeAndOr(s, syms, g.Type == netlist.Nor, false)
+			e.clBuf = syms[:0]
+		case netlist.Xor, netlist.Xnor:
+			parity := g.Type == netlist.Xnor
+			acc := 0
+			for _, f := range g.Fanin {
+				if e.val[f] >= 0 {
+					if e.val[f] == 1 {
+						parity = !parity
+					}
+					continue
+				}
+				if acc == 0 {
+					acc = e.lit[f]
+					continue
+				}
+				t := s.NewVar()
+				lec.XorClauses(s, t, acc, e.lit[f])
+				acc = t
+			}
+			if parity {
+				acc = -acc
+			}
+			e.lit[id] = acc
+		case netlist.Mux:
+			selv := e.val[g.Fanin[0]]
+			af, bf := g.Fanin[1], g.Fanin[2]
+			if selv == 0 {
+				e.lit[id] = e.lit[af]
+				break
+			}
+			if selv == 1 {
+				e.lit[id] = e.lit[bf]
+				break
+			}
+			sel := e.lit[g.Fanin[0]]
+			av, bv := e.val[af], e.val[bf]
+			if av >= 0 && bv >= 0 {
+				// Branches are distinct constants: v follows ±sel.
+				if av == 0 { // sel=0 → 0, sel=1 → 1
+					e.lit[id] = sel
+				} else {
+					e.lit[id] = -sel
+				}
+				break
+			}
+			v := s.NewVar()
+			if av >= 0 { // constant a branch
+				if av == 1 {
+					s.AddClause(sel, v)
+				} else {
+					s.AddClause(sel, -v)
+				}
+			} else {
+				s.AddClause(sel, -e.lit[af], v)
+				s.AddClause(sel, e.lit[af], -v)
+			}
+			if bv >= 0 {
+				if bv == 1 {
+					s.AddClause(-sel, v)
+				} else {
+					s.AddClause(-sel, -v)
+				}
+			} else {
+				s.AddClause(-sel, -e.lit[bf], v)
+				s.AddClause(-sel, e.lit[bf], -v)
+			}
+			e.lit[id] = v
+		}
+	}
+
+	// Observables must match the oracle.
+	for i, n := range e.obsNet {
+		if e.val[n] >= 0 {
+			if (e.val[n] == 1) != obs[i] {
+				return fmt.Errorf("attack: oracle disagrees with key-independent output %d — oracle is not the original circuit", i)
+			}
+			continue
+		}
+		if obs[i] {
+			s.AddClause(e.lit[n])
+		} else {
+			s.AddClause(-e.lit[n])
+		}
+	}
+	return nil
+}
+
+// encodeAndOr Tseitin-encodes v ↔ AND(syms) (and=true) or v ↔ OR(syms)
+// over the surviving symbolic fanins, returning the output literal
+// (negated for NAND/NOR via neg). A single fanin becomes an alias.
+func (e *cofEncoder) encodeAndOr(s *sat.Solver, syms []int, neg, and bool) int {
+	if len(syms) == 1 {
+		if neg {
+			return -syms[0]
+		}
+		return syms[0]
+	}
+	v := s.NewVar()
+	long := make([]int, 0, len(syms)+1)
+	if and {
+		for _, a := range syms {
+			s.AddClause(-v, a)
+			long = append(long, -a)
+		}
+		long = append(long, v)
+	} else {
+		for _, a := range syms {
+			s.AddClause(v, -a)
+			long = append(long, a)
+		}
+		long = append(long, -v)
+	}
+	s.AddClause(long...)
+	if neg {
+		return -v
+	}
+	return v
 }

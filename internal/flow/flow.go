@@ -47,6 +47,10 @@ type Config struct {
 	// construction is exact; LEC is the Fig. 3 safety net). 0 means
 	// 4000 gates.
 	LECGateLimit int
+	// LECPrefilterPatterns is passed through to the checker: the number
+	// of random patterns simulated before the SAT miter runs (0 = the
+	// checker default, negative disables the prefilter and forces SAT).
+	LECPrefilterPatterns int
 	// PlacePasses overrides placement improvement passes (0 = default).
 	PlacePasses int
 }
@@ -148,7 +152,10 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 // for small designs, heavy random simulation for large ones.
 func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) error {
 	if orig.NumGates() <= cfg.LECGateLimit {
-		res, err := lec.Check(orig, locked, lec.Options{Seed: cfg.Seed})
+		res, err := lec.Check(orig, locked, lec.Options{
+			Seed:              cfg.Seed,
+			PrefilterPatterns: cfg.LECPrefilterPatterns,
+		})
 		if err != nil {
 			return fmt.Errorf("flow: LEC: %w", err)
 		}

@@ -79,9 +79,20 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 	for _, id := range a.DFFs() {
 		shared[a.Gate(id).Name] = varsA[id]
 	}
+	// The second circuit is encoded with simulation-guided SAT sweeping:
+	// candidate equivalences against a's nets (matched by bit-parallel
+	// simulation signature) are probed with bounded-effort SAT as each
+	// gate is encoded, and proven nets are substituted by a's variable,
+	// so re-synthesized cones re-converge structurally and everything
+	// downstream shares a's encoding outright. This is the standard
+	// fraiging play of production equivalence checkers; the output-pair
+	// proofs below mostly collapse to va == vb lookups.
 	enc2 := NewEncoder(s)
-	enc2.Bind(b, shared)
+	enc2.Bind(shared)
 	enc2.ShareStructure(sigTable)
+	if err := installSweep(s, enc2, a, b, varsA, opt.Seed); err != nil {
+		return Result{}, err
+	}
 	varsB, err := enc2.Encode(b)
 	if err != nil {
 		return Result{}, err
@@ -117,13 +128,9 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 			continue // identical structure ⇒ identical function
 		}
 		act := s.NewVar()
-		d := s.NewVar()
-		// d ↔ va ⊕ vb
-		s.AddClause(-d, p.va, p.vb)
-		s.AddClause(-d, -p.va, -p.vb)
-		s.AddClause(d, -p.va, p.vb)
-		s.AddClause(d, p.va, -p.vb)
-		s.AddClause(-act, d)
+		// act → va ⊕ vb
+		s.AddClause(-act, p.va, p.vb)
+		s.AddClause(-act, -p.va, -p.vb)
 		switch s.Solve(act) {
 		case sat.Sat:
 			cex := make(map[string]bool)
@@ -145,17 +152,139 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 	return Result{Equivalent: true, UsedSAT: true}, nil
 }
 
+// sweepWords is the number of 64-pattern words used to bucket internal
+// nets by simulation signature during SAT sweeping.
+const sweepWords = 4
+
+// sweepBudget caps the conflicts spent on a single sweep probe.
+// Signature collisions (e.g. near-constant nets) would otherwise turn
+// failed probes into unbounded model searches; a merge that cannot be
+// proven within the budget is simply skipped.
+const sweepBudget = 400
+
+// simSignatures bit-parallel-simulates circuit c under the shared
+// per-name stimulus and returns every net's signature, densely indexed
+// by GateID.
+func simSignatures(c *netlist.Circuit, wordFor func(string, int) uint64) ([][sweepWords]uint64, error) {
+	ev, err := sim.NewEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]uint64, len(c.Inputs()))
+	st := make([]uint64, len(c.DFFs()))
+	nets := ev.NewNetBuffer()
+	sigs := make([][sweepWords]uint64, c.NumIDs())
+	for k := 0; k < sweepWords; k++ {
+		for i, id := range c.Inputs() {
+			in[i] = wordFor(c.Gate(id).Name, k)
+		}
+		for i, id := range c.DFFs() {
+			st[i] = wordFor(c.Gate(id).Name, k)
+		}
+		ev.Eval(in, st, nets)
+		for id := range sigs {
+			sigs[id][k] = nets[id]
+		}
+	}
+	return sigs, nil
+}
+
+// installSweep prepares simulation-guided sweeping for enc's next
+// Encode call: a's nets are bucketed by simulation signature, and the
+// encoder's merge hook probes each freshly encoded net of b against a
+// signature-matched candidate of a with a bounded-effort SAT call.
+// Proven nets are substituted by a's variable, so their fanout
+// re-converges onto a's encoding structurally (no further probes, no
+// clauses). Failed or over-budget probes are simply skipped — sweeping
+// only accelerates, it never decides.
+func installSweep(s *sat.Solver, enc *Encoder, a, b *netlist.Circuit, varsA VarMap, seed uint64) error {
+	// Deterministic per-name stimulus so that identically-named inputs
+	// and flip-flops of both circuits see identical patterns.
+	nameIdx := make(map[string]int)
+	wordFor := func(name string, k int) uint64 {
+		idx, ok := nameIdx[name]
+		if !ok {
+			idx = len(nameIdx)
+			nameIdx[name] = idx
+		}
+		x := seed ^ 0x9e3779b97f4a7c15
+		x ^= uint64(idx+1) * 0xbf58476d1ce4e5b9
+		x ^= uint64(k+1) * 0x94d049bb133111eb
+		x ^= x >> 27
+		x *= 0x2545f4914f6cdd1d
+		x ^= x >> 31
+		return x
+	}
+	sigsA, err := simSignatures(a, wordFor)
+	if err != nil {
+		return err
+	}
+	sigsB, err := simSignatures(b, wordFor)
+	if err != nil {
+		return err
+	}
+	// Bucket a's vars by signature; the lowest variable (the earliest
+	// encoded net) is the deterministic representative.
+	orderA, err := a.TopoOrder()
+	if err != nil {
+		return err
+	}
+	bySig := make(map[[sweepWords]uint64]int, len(orderA))
+	for _, id := range orderA {
+		v := varsA[id]
+		if v == 0 {
+			continue
+		}
+		if old, ok := bySig[sigsA[id]]; !ok || old > v {
+			bySig[sigsA[id]] = v
+		}
+	}
+	// The hook only ever sees freshly allocated variables (gates that
+	// alias an existing variable through Bind or the signature table
+	// never reach it), so no self-merge guard is needed.
+	enc.merge = func(id netlist.GateID, v int) int {
+		va, ok := bySig[sigsB[id]]
+		if !ok || va == v {
+			return v
+		}
+		act := s.NewVar()
+		// act → va ⊕ v; UNSAT under act proves equivalence.
+		s.AddClause(-act, va, v)
+		s.AddClause(-act, -va, -v)
+		st := s.SolveLimited(sweepBudget, act)
+		s.AddClause(-act) // retire the probe either way
+		if st != sat.Unsat {
+			return v
+		}
+		// Proven equal: record the lemma and substitute a's variable
+		// for all fanout of this net.
+		s.AddClause(-va, v)
+		s.AddClause(va, -v)
+		return va
+	}
+	return nil
+}
+
 // Encoder Tseitin-encodes circuits into a shared SAT instance. It is
 // also used by the oracle-guided SAT attack demonstration.
 type Encoder struct {
 	s     *sat.Solver
 	bound map[string]int // gate name -> pre-assigned variable
-	// sigs, when non-nil, maps structural signatures to existing SAT
-	// variables: gates with identical structure over identically-named
-	// sources share one variable instead of re-encoding. This is the
-	// internal-equivalence sharing that keeps locked-vs-original
-	// miters small (only the re-synthesized cones differ).
+	// sigs, when non-nil, maps gate signatures — the gate type hashed
+	// over its fanin SAT variables — to existing SAT variables: a gate
+	// whose inputs already share variables with an earlier encoding
+	// shares its output variable too instead of re-encoding. This is
+	// the internal-equivalence sharing that keeps locked-vs-original
+	// miters small (only the re-synthesized cones differ), and because
+	// signatures follow the variables, two circuits bound to different
+	// variables (e.g. the two key vectors of a SAT-attack miter) never
+	// alias.
 	sigs map[uint64]int
+	// merge, when non-nil, is called after each freshly encoded gate
+	// with its variable and may return a substitute (an older variable
+	// proven equivalent); the substitution propagates to all fanout.
+	// installSweep uses it for simulation-guided SAT sweeping.
+	merge func(id netlist.GateID, v int) int
 }
 
 // NewEncoder returns an encoder adding clauses to s.
@@ -164,8 +293,10 @@ func NewEncoder(s *sat.Solver) *Encoder {
 }
 
 // Bind forces the named gates of the next Encode call to use the given
-// existing solver variables (for sharing inputs across circuits).
-func (e *Encoder) Bind(c *netlist.Circuit, vars map[string]int) {
+// existing solver variables (for sharing inputs across circuits). The
+// binding is purely name-keyed; it applies to whichever circuit is
+// passed to Encode next.
+func (e *Encoder) Bind(vars map[string]int) {
 	e.bound = vars
 }
 
@@ -177,35 +308,40 @@ func (e *Encoder) ShareStructure(table map[uint64]int) {
 	e.sigs = table
 }
 
+// VarMap maps GateIDs to SAT variables as a dense slice indexed by
+// GateID (the gate ID space is compact); entry 0 means the net was not
+// encoded (dead slot).
+type VarMap []int
+
+// Var returns the SAT variable of the given net, or 0 if unencoded.
+func (m VarMap) Var(id netlist.GateID) int { return m[id] }
+
 // Encode adds the circuit's consistency clauses and returns the
-// variable of every live net.
-func (e *Encoder) Encode(c *netlist.Circuit) (map[netlist.GateID]int, error) {
+// variable of every live net, densely indexed by GateID.
+func (e *Encoder) Encode(c *netlist.Circuit) (VarMap, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
 	s := e.s
-	vars := make(map[netlist.GateID]int, len(order))
+	vars := make(VarMap, c.NumIDs())
 	varOf := func(id netlist.GateID) int { return vars[id] }
-	var gateSigs map[netlist.GateID]uint64
-	if e.sigs != nil {
-		gateSigs = make(map[netlist.GateID]uint64, len(order))
-	}
 	for _, id := range order {
 		g := c.Gate(id)
-		var sig uint64
-		if e.sigs != nil {
-			sig = signature(c, id, gateSigs)
-			gateSigs[id] = sig
-		}
 		if v, ok := e.bound[g.Name]; ok {
 			vars[id] = v
-			if e.sigs != nil {
-				e.sigs[sig] = v
-			}
 			continue
 		}
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			vars[id] = s.NewVar() // free variable, no clauses
+			continue
+		}
+		// Signatures hash the gate type over the fanin variables (after
+		// any merge substitutions), so sharing follows the variables and
+		// cascades through merged cones.
+		var sig uint64
 		if e.sigs != nil {
+			sig = gateSig(g.Type, g.Fanin, vars)
 			if v, ok := e.sigs[sig]; ok {
 				vars[id] = v
 				continue
@@ -213,12 +349,7 @@ func (e *Encoder) Encode(c *netlist.Circuit) (map[netlist.GateID]int, error) {
 		}
 		v := s.NewVar()
 		vars[id] = v
-		if e.sigs != nil {
-			e.sigs[sig] = v
-		}
 		switch g.Type {
-		case netlist.Input, netlist.DFF:
-			// Free variable.
 		case netlist.TieHi:
 			s.AddClause(v)
 		case netlist.TieLo:
@@ -255,8 +386,35 @@ func (e *Encoder) Encode(c *netlist.Circuit) (map[netlist.GateID]int, error) {
 		default:
 			return nil, fmt.Errorf("lec: cannot encode gate type %v", g.Type)
 		}
+		if e.merge != nil {
+			vars[id] = e.merge(id, v)
+		}
+		if e.sigs != nil {
+			e.sigs[sig] = vars[id]
+		}
 	}
 	return vars, nil
+}
+
+// gateSig hashes a gate type over its fanin variables.
+func gateSig(t netlist.GateType, fanin []netlist.GateID, vars VarMap) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(t) + 1)
+	for _, f := range fanin {
+		mix(uint64(vars[f]))
+	}
+	return h
 }
 
 func (e *Encoder) encodeAnd(v int, fanin []netlist.GateID, varOf func(netlist.GateID) int, negate bool) {
@@ -302,13 +460,13 @@ func (e *Encoder) encodeXorChain(v int, fanin []netlist.GateID, varOf func(netli
 			t = v
 			if negate {
 				// Encode v ↔ ¬(acc ⊕ b) by flipping the output sign.
-				e.xorClauses(-t, acc, b)
+				XorClauses(e.s, -t, acc, b)
 				return
 			}
 		} else {
 			t = s.NewVar()
 		}
-		e.xorClauses(t, acc, b)
+		XorClauses(e.s, t, acc, b)
 		acc = t
 	}
 	if len(fanin) == 1 { // degenerate, not produced by netlist arity rules
@@ -317,46 +475,10 @@ func (e *Encoder) encodeXorChain(v int, fanin []netlist.GateID, varOf func(netli
 	}
 }
 
-// signature computes a structural hash of the gate: sources hash their
-// name (so identically-named inputs/flip-flops match across circuits),
-// TIE cells hash their constant, and logic gates hash their type over
-// their fanin signatures in pin order.
-func signature(c *netlist.Circuit, id netlist.GateID, sigs map[netlist.GateID]uint64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	g := c.Gate(id)
-	switch g.Type {
-	case netlist.Input, netlist.DFF:
-		mix(uint64(g.Type) + 101)
-		for _, b := range []byte(g.Name) {
-			h ^= uint64(b)
-			h *= prime64
-		}
-		return h
-	case netlist.TieHi, netlist.TieLo:
-		mix(uint64(g.Type) + 201)
-		return h
-	}
-	mix(uint64(g.Type) + 1)
-	for _, f := range g.Fanin {
-		mix(sigs[f])
-	}
-	return h
-}
-
-// xorClauses encodes t ↔ a ⊕ b. t may be a negative literal.
-func (e *Encoder) xorClauses(t, a, b int) {
-	s := e.s
+// XorClauses adds the 4-clause Tseitin definition t ↔ a ⊕ b to s.
+// Literals may be negative. The encoder, the miter construction, and
+// the SAT attack's cofactor encoder all share this one definition.
+func XorClauses(s *sat.Solver, t, a, b int) {
 	s.AddClause(-t, a, b)
 	s.AddClause(-t, -a, -b)
 	s.AddClause(t, -a, b)

@@ -1,11 +1,18 @@
-// Package sat implements a from-scratch CDCL SAT solver: two-literal
-// watching, VSIDS-style variable activity, first-UIP clause learning,
-// phase saving, and geometric restarts. It backs the logic equivalence
-// checker (the paper's Conformal LEC substitute) and the oracle-guided
-// SAT-attack demonstration.
+// Package sat implements a from-scratch modern CDCL SAT solver:
+// two-literal watching with blocker literals, specialized binary-clause
+// watch lists, VSIDS-style variable activity, first-UIP clause learning
+// with recursive learnt-clause minimization, LBD (glue) tracking with
+// activity+LBD-driven clause-database reduction, phase saving, and Luby
+// restarts. The solve loop runs on preallocated scratch buffers and is
+// allocation-free in steady state apart from the learnt clauses
+// themselves. It backs the logic equivalence checker (the paper's
+// Conformal LEC substitute) and the oracle-guided SAT-attack
+// demonstration.
 //
 // The public API uses DIMACS conventions: variables are positive
-// integers allocated by NewVar, a literal is +v or -v.
+// integers allocated by NewVar, a literal is +v or -v. All operations
+// are deterministic: the same sequence of AddClause/Solve calls yields
+// the same statuses and models on every run.
 package sat
 
 import "sort"
@@ -32,24 +39,59 @@ func (s Status) String() string {
 
 const noReason = -1
 
+// lubyUnit scales the Luby restart sequence (conflicts per restart).
+const lubyUnit = 128
+
 type clause struct {
 	lits    []uint32
+	act     float64
+	lbd     int32
 	learnt  bool
 	deleted bool
+}
+
+// watcher is one entry of a long-clause (≥3 literals) watch list. The
+// blocker is some other literal of the clause: when it is already true
+// the clause is satisfied and the clause body is never dereferenced,
+// which skips the cache miss that dominates propagation cost.
+type watcher struct {
+	ci      int32
+	blocker uint32
+}
+
+// binWatcher is one entry of a binary-clause watch list: when the
+// watched literal is falsified, other is immediately unit (or the
+// clause ci is conflicting). Binary clauses never move their watches.
+type binWatcher struct {
+	other uint32
+	ci    int32
+}
+
+// triWatcher is one entry of a ternary-clause watch list. All three
+// literals are watched and the watcher carries the other two, so
+// ternary propagation (the bulk of a Tseitin encoding) never
+// dereferences the clause body and never moves a watch.
+type triWatcher struct {
+	a, b uint32
+	ci   int32
 }
 
 // Solver holds one CNF instance. The zero value is not usable; call
 // New.
 type Solver struct {
 	clauses []clause
-	watches [][]int32 // literal -> clause indices watching it
+	watches [][]watcher    // literal -> watchers of clauses with ≥4 lits
+	binW    [][]binWatcher // literal -> binary watch list
+	triW    [][]triWatcher // literal -> ternary watch list
 
-	assign   []int8 // var -> -1 unassigned / 0 false / 1 true
-	level    []int32
-	reason   []int32
-	polarity []int8 // saved phase
-	activity []float64
-	varInc   float64
+	assignLit []int8 // literal -> -1 unassigned / 0 false / 1 true
+	assign    []int8 // var -> -1 unassigned / 0 false / 1 true
+	level     []int32
+	reason    []int32
+	polarity  []int8 // saved phase
+	activity  []float64
+	varInc    float64
+	claInc    float64
 
 	trail    []uint32
 	trailLim []int
@@ -63,6 +105,17 @@ type Solver struct {
 
 	unsat bool // empty clause encountered during AddClause
 
+	// Preallocated scratch (reused across calls, never shrunk).
+	seen      []byte   // var -> conflict-analysis mark
+	toClear   []int32  // vars whose seen mark must be reset
+	learntBuf []uint32 // learnt-clause assembly buffer
+	minStack  []int32  // recursive-minimization DFS stack
+	addMark   []byte   // var -> AddClause dedup mark (bit0 pos, bit1 neg)
+	addBuf    []uint32 // AddClause literal buffer
+	lbdStamp  []uint32 // level -> stamp for LBD counting
+	lbdTick   uint32
+	reduceBuf []int32 // candidate list for reduceDB
+
 	// Stats counts solver work for reporting.
 	Stats struct {
 		Conflicts    int64
@@ -70,26 +123,43 @@ type Solver struct {
 		Propagations int64
 		Learnt       int64
 		Restarts     int64
+		Minimized    int64 // literals removed by learnt-clause minimization
+		Reduced      int64 // learnt clauses deleted by reduceDB
 	}
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	return &Solver{varInc: 1.0}
+	return &Solver{varInc: 1.0, claInc: 1.0}
 }
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assign) }
 
+// NumClauses returns the number of live (non-deleted) clauses,
+// problem and learnt together.
+func (s *Solver) NumClauses() int { return s.numProblem + s.numLearnt }
+
+// NumProblemClauses returns the number of live problem (non-learnt)
+// clauses. The SAT-attack regression tests use it to bound encoding
+// growth per iteration.
+func (s *Solver) NumProblemClauses() int { return s.numProblem }
+
 // NewVar allocates a fresh variable and returns its positive index
 // (1-based).
 func (s *Solver) NewVar() int {
 	s.assign = append(s.assign, -1)
+	s.assignLit = append(s.assignLit, -1, -1)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, noReason)
 	s.polarity = append(s.polarity, 0)
 	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.addMark = append(s.addMark, 0)
+	s.lbdStamp = append(s.lbdStamp, 0)
 	s.watches = append(s.watches, nil, nil)
+	s.binW = append(s.binW, nil, nil)
+	s.triW = append(s.triW, nil, nil)
 	v := int32(len(s.assign) - 1)
 	s.heapPos = append(s.heapPos, -1)
 	s.heapInsert(v)
@@ -108,45 +178,63 @@ func intLit(l int) uint32 {
 func litVar(l uint32) int32 { return int32(l >> 1) }
 func litNeg(l uint32) bool  { return l&1 == 1 }
 
-// value returns the literal's current truth value: -1/0/1.
-func (s *Solver) value(l uint32) int8 {
-	a := s.assign[litVar(l)]
-	if a < 0 {
-		return -1
-	}
-	if litNeg(l) {
-		return 1 - a
-	}
-	return a
-}
+// value returns the literal's current truth value: -1/0/1, as a single
+// load from the literal-indexed assignment array.
+func (s *Solver) value(l uint32) int8 { return s.assignLit[l] }
 
 // AddClause adds a clause over DIMACS literals. Adding a clause after
 // solving is allowed only at decision level zero (the solver backtracks
 // automatically). An empty clause makes the instance trivially UNSAT.
 func (s *Solver) AddClause(lits ...int) {
 	s.cancelUntil(0)
-	// Deduplicate and detect tautologies.
-	seen := make(map[int]bool, len(lits))
-	out := make([]uint32, 0, len(lits))
+	// Deduplicate and detect tautologies with the per-var mark bytes
+	// (bit0 = positive seen, bit1 = negative seen); no map, no
+	// allocation beyond the literal buffer.
+	out := s.addBuf[:0]
+	taut := false
+	sat0 := false
 	for _, l := range lits {
 		if l == 0 {
 			panic("sat: zero literal")
 		}
-		if seen[-l] {
-			return // tautology: x ∨ ¬x
+		v := l
+		mark := byte(1)
+		if l < 0 {
+			v = -l
+			mark = 2
 		}
-		if seen[l] {
-			continue
+		vi := v - 1
+		m := s.addMark[vi]
+		if m&(mark^3) != 0 {
+			taut = true // x ∨ ¬x
+			break
 		}
-		seen[l] = true
+		if m&mark != 0 {
+			continue // duplicate
+		}
+		s.addMark[vi] = m | mark
 		il := intLit(l)
 		switch s.value(il) {
 		case 1:
-			return // already satisfied at level 0
+			sat0 = true // already satisfied at level 0
 		case 0:
 			continue // falsified at level 0: drop literal
 		}
+		if sat0 {
+			break
+		}
 		out = append(out, il)
+	}
+	for _, l := range lits { // clear every mark, including dropped literals
+		if l > 0 {
+			s.addMark[l-1] = 0
+		} else {
+			s.addMark[-l-1] = 0
+		}
+	}
+	s.addBuf = out[:0]
+	if taut || sat0 {
+		return
 	}
 	switch len(out) {
 	case 0:
@@ -158,15 +246,27 @@ func (s *Solver) AddClause(lits ...int) {
 			s.unsat = true
 		}
 	default:
-		s.attachClause(out, false)
+		lcopy := make([]uint32, len(out))
+		copy(lcopy, out)
+		s.attachClause(lcopy, false, 0)
 	}
 }
 
-func (s *Solver) attachClause(lits []uint32, learnt bool) int32 {
+func (s *Solver) attachClause(lits []uint32, learnt bool, lbd int32) int32 {
 	ci := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt})
-	s.watches[lits[0]^1] = append(s.watches[lits[0]^1], ci)
-	s.watches[lits[1]^1] = append(s.watches[lits[1]^1], ci)
+	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt, lbd: lbd})
+	switch len(lits) {
+	case 2:
+		s.binW[lits[0]^1] = append(s.binW[lits[0]^1], binWatcher{other: lits[1], ci: ci})
+		s.binW[lits[1]^1] = append(s.binW[lits[1]^1], binWatcher{other: lits[0], ci: ci})
+	case 3:
+		s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], ci: ci})
+		s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], ci: ci})
+		s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], ci: ci})
+	default:
+		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{ci: ci, blocker: lits[1]})
+		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: ci, blocker: lits[0]})
+	}
 	if learnt {
 		s.numLearnt++
 	} else {
@@ -175,38 +275,84 @@ func (s *Solver) attachClause(lits []uint32, learnt bool) int32 {
 	return ci
 }
 
-// reduceDB deletes roughly half of the learnt clauses (longest first)
-// when the learnt database outgrows the problem clauses, keeping any
-// clause that is currently the reason of an assignment. Deleted slots
-// stay in place (watch lists skip them); their literal storage is
-// released.
+// locked reports whether the clause is currently the reason of an
+// assignment and must not be deleted. Long clauses always assert
+// lits[0]; ternary propagation does not normalize literal order, so
+// every literal of a 3-clause is checked.
+func (s *Solver) locked(ci int32) bool {
+	c := &s.clauses[ci]
+	if len(c.lits) == 3 {
+		for _, l := range c.lits {
+			if s.reason[litVar(l)] == ci && s.assignLit[l] == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	v := litVar(c.lits[0])
+	return s.reason[v] == ci && s.assignLit[c.lits[0]] == 1
+}
+
+// reduceDB deletes roughly half of the learnt clauses when the learnt
+// database outgrows the problem clauses. Victims are picked by glue
+// first (higher LBD goes first) and clause activity second (colder
+// clauses go first); binary clauses, glue clauses (LBD ≤ 2) and
+// clauses that are the reason of a current assignment are kept.
+// Deleted slots stay in place; the long-clause watch lists are rebuilt
+// so propagation never sees a dead clause.
 func (s *Solver) reduceDB() {
-	cap := 2*s.numProblem + 10000
-	if s.numLearnt <= cap {
+	limit := 2*s.numProblem + 10000
+	if s.numLearnt <= limit {
 		return
 	}
-	isReason := make(map[int32]bool, len(s.trail))
-	for _, l := range s.trail {
-		if r := s.reason[litVar(l)]; r >= 0 {
-			isReason[r] = true
-		}
-	}
-	var learnt []int32
+	cand := s.reduceBuf[:0]
 	for ci := range s.clauses {
 		c := &s.clauses[ci]
-		if c.learnt && !c.deleted && !isReason[int32(ci)] && len(c.lits) > 2 {
-			learnt = append(learnt, int32(ci))
+		if c.learnt && !c.deleted && len(c.lits) > 2 && c.lbd > 2 && !s.locked(int32(ci)) {
+			cand = append(cand, int32(ci))
 		}
 	}
-	// Longest clauses are the least useful; delete the longer half.
-	sort.Slice(learnt, func(i, j int) bool {
-		return len(s.clauses[learnt[i]].lits) > len(s.clauses[learnt[j]].lits)
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := &s.clauses[cand[i]], &s.clauses[cand[j]]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		if a.act != b.act {
+			return a.act < b.act
+		}
+		return cand[i] < cand[j] // deterministic tie-break
 	})
-	for _, ci := range learnt[:len(learnt)/2] {
+	for _, ci := range cand[:len(cand)/2] {
 		c := &s.clauses[ci]
 		c.deleted = true
 		c.lits = nil
 		s.numLearnt--
+		s.Stats.Reduced++
+	}
+	s.reduceBuf = cand[:0]
+	// Rebuild the ternary and long-clause watch lists (binary watches
+	// are never deleted and stay put). Watch positions 0 and 1 were
+	// valid before the rebuild, so re-watching the same positions is
+	// sound at any decision level; ternary clauses watch all three
+	// literals.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+		s.triW[i] = s.triW[i][:0]
+	}
+	for ci := range s.clauses {
+		c := &s.clauses[ci]
+		if c.deleted || len(c.lits) <= 2 {
+			continue
+		}
+		lits := c.lits
+		if len(lits) == 3 {
+			s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], ci: int32(ci)})
+			s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], ci: int32(ci)})
+			s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], ci: int32(ci)})
+			continue
+		}
+		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{ci: int32(ci), blocker: lits[1]})
+		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: int32(ci), blocker: lits[0]})
 	}
 }
 
@@ -225,6 +371,8 @@ func (s *Solver) enqueue(l uint32, from int32) bool {
 	} else {
 		s.assign[v] = 1
 	}
+	s.assignLit[l] = 1
+	s.assignLit[l^1] = 0
 	s.level[v] = int32(len(s.trailLim))
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -238,29 +386,67 @@ func (s *Solver) propagate() int32 {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
 		s.Stats.Propagations++
+		// Binary clauses: no watch movement, no clause dereference.
+		for _, bw := range s.binW[p] {
+			switch s.assignLit[bw.other] {
+			case 0:
+				s.qhead = len(s.trail)
+				return bw.ci
+			case -1:
+				s.enqueue(bw.other, bw.ci)
+			}
+		}
+		// Ternary clauses: the watcher carries the other two literals,
+		// so unit/conflict detection is two loads with no watch
+		// movement.
+		for _, tw := range s.triW[p] {
+			va := s.assignLit[tw.a]
+			if va == 1 {
+				continue
+			}
+			vb := s.assignLit[tw.b]
+			if vb == 1 {
+				continue
+			}
+			if va == 0 {
+				if vb == 0 {
+					s.qhead = len(s.trail)
+					return tw.ci
+				}
+				s.enqueue(tw.b, tw.ci)
+			} else if vb == 0 {
+				s.enqueue(tw.a, tw.ci)
+			}
+		}
 		ws := s.watches[p]
 		j := 0
 		for i := 0; i < len(ws); i++ {
-			ci := ws[i]
-			c := &s.clauses[ci]
-			if c.deleted {
+			w := ws[i]
+			// Blocker check: if some other literal of the clause is
+			// already true, keep the watcher without touching the clause.
+			if s.value(w.blocker) == 1 {
+				ws[j] = w
+				j++
 				continue
 			}
-			// Normalize so that c.lits[1] is the watched literal ¬p.
-			if c.lits[0]^1 == p {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			c := &s.clauses[w.ci]
+			lits := c.lits
+			// Normalize so that lits[1] is the falsified watch ¬p.
+			if lits[0]^1 == p {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			if s.value(c.lits[0]) == 1 {
-				ws[j] = ci
+			first := lits[0]
+			if first != w.blocker && s.value(first) == 1 {
+				ws[j] = watcher{ci: w.ci, blocker: first}
 				j++
 				continue
 			}
 			// Find a new watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != 0 {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]^1] = append(s.watches[c.lits[1]^1], ci)
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != 0 {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: w.ci, blocker: first})
 					found = true
 					break
 				}
@@ -269,9 +455,9 @@ func (s *Solver) propagate() int32 {
 				continue // watch moved; drop from this list
 			}
 			// Clause is unit or conflicting.
-			ws[j] = ci
+			ws[j] = watcher{ci: w.ci, blocker: first}
 			j++
-			if !s.enqueue(c.lits[0], ci) {
+			if !s.enqueue(first, w.ci) {
 				// Conflict: keep remaining watches and report.
 				for i++; i < len(ws); i++ {
 					ws[j] = ws[i]
@@ -279,7 +465,7 @@ func (s *Solver) propagate() int32 {
 				}
 				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return ci
+				return w.ci
 			}
 		}
 		s.watches[p] = ws[:j]
@@ -303,6 +489,8 @@ func (s *Solver) cancelUntil(lvl int) {
 			s.polarity[v] = 1
 		}
 		s.assign[v] = -1
+		s.assignLit[l] = -1
+		s.assignLit[l^1] = -1
 		s.reason[v] = noReason
 		if s.heapPos[v] < 0 {
 			s.heapInsert(v)
@@ -313,27 +501,33 @@ func (s *Solver) cancelUntil(lvl int) {
 	s.qhead = len(s.trail)
 }
 
-// analyze computes a 1-UIP learnt clause from a conflict and the level
-// to backtrack to.
-func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int) {
-	seen := make(map[int32]bool)
+// analyze computes a 1-UIP learnt clause from a conflict, minimizes it
+// recursively, and returns the clause (backed by internal scratch — the
+// caller must copy it before the next analyze), the backtrack level,
+// and its LBD.
+func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int, lbd int32) {
+	learnt = s.learntBuf[:0]
+	learnt = append(learnt, 0) // slot for the asserting literal
+	seen := s.seen
 	counter := 0
 	var p uint32
 	pSet := false
-	learnt = append(learnt, 0) // slot for the asserting literal
 	idx := len(s.trail) - 1
 	for {
 		c := &s.clauses[confl]
-		for k := 0; k < len(c.lits); k++ {
-			q := c.lits[k]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		for _, q := range c.lits {
 			if pSet && q == p {
 				continue
 			}
 			v := litVar(q)
-			if seen[v] || s.level[v] == 0 {
+			if seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
-			seen[v] = true
+			seen[v] = 1
+			s.toClear = append(s.toClear, v)
 			s.bumpVar(v)
 			if int(s.level[v]) == s.decisionLevel() {
 				counter++
@@ -345,19 +539,45 @@ func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int) {
 		for {
 			p = s.trail[idx]
 			idx--
-			if seen[litVar(p)] {
+			if seen[litVar(p)] != 0 {
 				break
 			}
 		}
 		pSet = true
 		counter--
-		seen[litVar(p)] = false
+		seen[litVar(p)] = 0
 		if counter == 0 {
 			break
 		}
 		confl = s.reason[litVar(p)]
 	}
 	learnt[0] = p ^ 1
+
+	// Recursive minimization: drop any literal implied by the rest of
+	// the clause through the implication graph.
+	var abstract uint32
+	for _, q := range learnt[1:] {
+		abstract |= 1 << (uint32(s.level[litVar(q)]) & 31)
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := litVar(learnt[i])
+		if s.reason[v] == noReason || !s.litRedundant(v, abstract) {
+			learnt[j] = learnt[i]
+			j++
+		} else {
+			s.Stats.Minimized++
+		}
+	}
+	learnt = learnt[:j]
+	s.learntBuf = learnt
+
+	// Clear every analysis mark (idempotent for the in-loop clears).
+	for _, v := range s.toClear {
+		seen[v] = 0
+	}
+	s.toClear = s.toClear[:0]
+
 	// Backtrack level: the highest level among the other literals.
 	backLvl = 0
 	if len(learnt) > 1 {
@@ -370,7 +590,57 @@ func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int) {
 		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
 		backLvl = int(s.level[litVar(learnt[1])])
 	}
-	return learnt, backLvl
+
+	// LBD: distinct decision levels in the final clause, counted with a
+	// stamp array (no per-call allocation, no map).
+	for len(s.lbdStamp) <= s.decisionLevel() {
+		s.lbdStamp = append(s.lbdStamp, 0)
+	}
+	s.lbdTick++
+	for _, q := range learnt {
+		lv := s.level[litVar(q)]
+		if s.lbdStamp[lv] != s.lbdTick {
+			s.lbdStamp[lv] = s.lbdTick
+			lbd++
+		}
+	}
+	return learnt, backLvl, lbd
+}
+
+// litRedundant reports whether the assignment of v is implied by
+// seen-marked literals (the learnt clause) through the implication
+// graph, using an explicit DFS stack. Antecedent vars proven redundant
+// stay marked, memoizing the result for the remaining literals; all
+// marks are cleared at the end of analyze.
+func (s *Solver) litRedundant(v int32, abstract uint32) bool {
+	stack := s.minStack[:0]
+	stack = append(stack, v)
+	top := len(s.toClear)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := &s.clauses[s.reason[u]]
+		for _, q := range c.lits {
+			qv := litVar(q)
+			if qv == u || s.seen[qv] != 0 || s.level[qv] == 0 {
+				continue
+			}
+			if s.reason[qv] == noReason || (1<<(uint32(s.level[qv])&31))&abstract == 0 {
+				// Cannot be resolved away: undo the marks made here.
+				for len(s.toClear) > top {
+					s.seen[s.toClear[len(s.toClear)-1]] = 0
+					s.toClear = s.toClear[:len(s.toClear)-1]
+				}
+				s.minStack = stack[:0]
+				return false
+			}
+			s.seen[qv] = 1
+			s.toClear = append(s.toClear, qv)
+			stack = append(stack, qv)
+		}
+	}
+	s.minStack = stack[:0]
+	return true
 }
 
 func (s *Solver) bumpVar(v int32) {
@@ -383,6 +653,17 @@ func (s *Solver) bumpVar(v int32) {
 	}
 	if s.heapPos[v] >= 0 {
 		s.heapUp(s.heapPos[v])
+	}
+}
+
+func (s *Solver) bumpClause(ci int32) {
+	c := &s.clauses[ci]
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			s.clauses[i].act *= 1e-20
+		}
+		s.claInc *= 1e-20
 	}
 }
 
@@ -399,10 +680,40 @@ func (s *Solver) pickBranch() int32 {
 	return -1
 }
 
+// luby returns the i-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	// Find the subsequence containing i: size = 2^k - 1.
+	var k uint
+	var size int64 = 1
+	for size < i+1 {
+		k++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		k--
+		i = i % size
+	}
+	return int64(1) << (k)
+}
+
 // Solve runs the CDCL loop under the given DIMACS assumption literals.
-// Assumptions are applied as temporary level-0 decisions; the instance
-// itself is unchanged afterwards.
+// Assumptions are applied as temporary decisions below the search; the
+// instance itself is unchanged afterwards. Results are deterministic.
 func (s *Solver) Solve(assumptions ...int) Status {
+	return s.solve(-1, assumptions)
+}
+
+// SolveLimited is Solve with a conflict budget: it returns Unknown when
+// the budget is exhausted before a result is reached (the instance and
+// learnt clauses are kept). SAT sweeping uses it for bounded-effort
+// equivalence probes; budget < 0 means unlimited.
+func (s *Solver) SolveLimited(budget int64, assumptions ...int) Status {
+	return s.solve(budget, assumptions)
+}
+
+func (s *Solver) solve(budget int64, assumptions []int) Status {
 	if s.unsat {
 		return Unsat
 	}
@@ -430,13 +741,20 @@ func (s *Solver) Solve(assumptions ...int) Status {
 	}
 	rootLevel := s.decisionLevel()
 
-	conflictLimit := int64(128)
+	var restarts int64
+	conflictLimit := lubyUnit * luby(0)
 	conflicts := int64(0)
+	total := int64(0)
 	for {
 		conf := s.propagate()
 		if conf >= 0 {
 			s.Stats.Conflicts++
 			conflicts++
+			total++
+			if budget >= 0 && total > budget {
+				s.cancelUntil(0)
+				return Unknown
+			}
 			if s.decisionLevel() == rootLevel {
 				s.cancelUntil(0)
 				if rootLevel == 0 {
@@ -444,7 +762,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				}
 				return Unsat
 			}
-			learnt, backLvl := s.analyze(conf)
+			learnt, backLvl, lbd := s.analyze(conf)
 			if backLvl < rootLevel {
 				backLvl = rootLevel
 			}
@@ -455,18 +773,22 @@ func (s *Solver) Solve(assumptions ...int) Status {
 					return Unsat
 				}
 			} else {
-				ci := s.attachClause(learnt, true)
+				lcopy := make([]uint32, len(learnt))
+				copy(lcopy, learnt)
+				ci := s.attachClause(lcopy, true, lbd)
 				s.Stats.Learnt++
 				s.enqueue(learnt[0], ci)
 			}
 			s.varInc /= 0.95
+			s.claInc /= 0.999
 			continue
 		}
 		if conflicts >= conflictLimit {
-			// Geometric restart; shrink the learnt database if it has
+			// Luby restart; shrink the learnt database if it has
 			// outgrown its budget.
 			conflicts = 0
-			conflictLimit += conflictLimit / 2
+			restarts++
+			conflictLimit = lubyUnit * luby(restarts)
 			s.Stats.Restarts++
 			s.cancelUntil(rootLevel)
 			s.reduceDB()
@@ -474,8 +796,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		}
 		v := s.pickBranch()
 		if v < 0 {
-			// All variables assigned: model found.
-			s.Stats.Decisions++
+			// All variables assigned: model found (not a decision).
 			return Sat
 		}
 		s.Stats.Decisions++

@@ -229,6 +229,164 @@ func TestRandom3SATAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// bruteAssume checks satisfiability under assumption literals.
+func bruteAssume(numVars int, cnf [][]int, assume []int) bool {
+	full := make([][]int, 0, len(cnf)+len(assume))
+	full = append(full, cnf...)
+	for _, a := range assume {
+		full = append(full, []int{a})
+	}
+	return brute(numVars, full)
+}
+
+// TestFuzzCNFAgainstBruteForce cross-checks the solver against
+// exhaustive enumeration on random instances up to 20 variables with
+// mixed clause widths (1..5), including repeated incremental Solve
+// calls under random assumptions and post-hoc clause addition.
+func TestFuzzCNFAgainstBruteForce(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	trials := 200
+	if testing.Short() {
+		trials = 50
+	}
+	for trial := 0; trial < trials; trial++ {
+		numVars := 5 + next(16) // 5..20
+		numClauses := 2 + next(4*numVars)
+		cnf := make([][]int, 0, numClauses)
+		for i := 0; i < numClauses; i++ {
+			w := 1 + next(5)
+			cl := make([]int, w)
+			for j := range cl {
+				v := 1 + next(numVars)
+				if next(2) == 1 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		// Add a random prefix, solve, then add the rest (exercises the
+		// incremental add-after-solve path).
+		split := next(len(cnf) + 1)
+		for _, cl := range cnf[:split] {
+			s.AddClause(cl...)
+		}
+		s.Solve()
+		for _, cl := range cnf[split:] {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := brute(numVars, cnf)
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cnf=%v", trial, got, want, cnf)
+		}
+		if got == Sat {
+			verifyModel(t, s, cnf, trial)
+		}
+		// Fuzz assumptions: the instance must be unchanged afterwards.
+		for round := 0; round < 3; round++ {
+			na := 1 + next(4)
+			assume := make([]int, 0, na)
+			seen := map[int]bool{}
+			for len(assume) < na {
+				v := 1 + next(numVars)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if next(2) == 1 {
+					v = -v
+				}
+				assume = append(assume, v)
+			}
+			got := s.Solve(assume...)
+			want := bruteAssume(numVars, cnf, assume)
+			if (got == Sat) != want {
+				t.Fatalf("trial %d assume %v: solver=%v brute=%v cnf=%v", trial, assume, got, want, cnf)
+			}
+			if got == Sat {
+				verifyModel(t, s, cnf, trial)
+				for _, a := range assume {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if s.Value(v) != (a > 0) {
+						t.Fatalf("trial %d: assumption %d not honored in model", trial, a)
+					}
+				}
+			}
+		}
+		// And the unassumed instance must still solve consistently.
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("trial %d: status changed after assumption solves: %v vs brute %v", trial, got, want)
+		}
+	}
+}
+
+func verifyModel(t *testing.T, s *Solver, cnf [][]int, trial int) {
+	t.Helper()
+	for _, cl := range cnf {
+		ok := false
+		for _, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if (l > 0) == s.Value(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("trial %d: model does not satisfy clause %v", trial, cl)
+		}
+	}
+}
+
+// TestDeterministicModels: the same instance built twice must produce
+// identical statuses and models (the table outputs depend on this).
+func TestDeterministicModels(t *testing.T) {
+	build := func() *Solver {
+		s := New()
+		pigeonhole(s, 5, 5)
+		return s
+	}
+	a, b := build(), build()
+	if ra, rb := a.Solve(), b.Solve(); ra != rb {
+		t.Fatalf("statuses differ: %v vs %v", ra, rb)
+	}
+	for v := 1; v <= a.NumVars(); v++ {
+		if a.Value(v) != b.Value(v) {
+			t.Fatalf("model differs at var %d", v)
+		}
+	}
+}
+
+// TestReduceDBKeepsCorrectness drives the solver through enough
+// conflicts to trigger clause-database reductions and checks the final
+// status against brute force on a compact core.
+func TestReduceDBKeepsCorrectness(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7) // hard enough to restart and reduce repeatedly
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7): %v", got)
+	}
+	if s.Stats.Restarts == 0 {
+		t.Error("expected at least one restart on PHP(8,7)")
+	}
+}
+
 func TestXorChainUnsat(t *testing.T) {
 	// x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, ..., x_{n}⊕x_1 = 1 with odd n is UNSAT.
 	n := 9
