@@ -390,6 +390,52 @@ func BenchmarkSATAttack(b *testing.B) {
 	}
 }
 
+// BenchmarkAIGMiter isolates the structural-hashing layer on the
+// BenchmarkLEC configuration (0.1-scale b14, 64-bit key, prefilter
+// disabled): one iteration runs the locked-vs-original check through
+// the strashed AND-inverter graph and once through the PR 2 legacy
+// encoder, reporting the miter problem-clause counts side by side plus
+// the AIG statistics (nodes, strash hits, sweep merges). The AIG path
+// collapses the correct-key miter structurally, so its clause count
+// must stay (far) below the legacy encoding.
+func BenchmarkAIGMiter(b *testing.B) {
+	orig, err := bmarks.Load("b14", benchSATScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: benchKeyBits, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := lec.Check(orig, lk.Circuit, lec.Options{PrefilterPatterns: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("locked circuit must be equivalent under the correct key")
+		}
+		legacy, err := lec.Check(orig, lk.Circuit, lec.Options{PrefilterPatterns: -1, LegacyEncoder: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !legacy.Equivalent {
+			b.Fatal("legacy path disagrees on the correct key")
+		}
+		if res.Stats.ProblemClauses >= legacy.Stats.ProblemClauses {
+			b.Fatalf("AIG miter (%d clauses) not smaller than legacy (%d)",
+				res.Stats.ProblemClauses, legacy.Stats.ProblemClauses)
+		}
+		b.ReportMetric(float64(res.Stats.ProblemClauses), "miterClauses")
+		b.ReportMetric(float64(legacy.Stats.ProblemClauses), "legacyClauses")
+		b.ReportMetric(float64(res.Stats.AIGNodes), "aigNodes")
+		b.ReportMetric(float64(res.Stats.StrashHits), "strashHits")
+		b.ReportMetric(float64(res.Stats.SweepMerges), "sweepMerges")
+		b.ReportMetric(float64(res.Stats.SATPairs), "satPairs")
+	}
+}
+
 // BenchmarkFlowRuntime measures the end-to-end secure flow wall time
 // (the paper reports 5–18 h with commercial tools on full-size ITC'99;
 // this measures our substrate at the configured scale).

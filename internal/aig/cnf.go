@@ -1,0 +1,175 @@
+package aig
+
+import "repro/internal/sat"
+
+// Emitter incrementally Tseitin-encodes graph cones into a SAT solver.
+// Cones are emitted lazily: LitVar walks the fanin of the requested
+// literal and allocates variables and clauses only for nodes that have
+// none yet, so structurally shared logic is encoded exactly once.
+//
+// Two structural refinements keep the CNF small:
+//
+//   - Sub, when set, substitutes fanin literals before emission (the
+//     LEC sweeper points it at its union-find, so proven-equivalent
+//     nodes collapse onto their representative's variable).
+//   - XOR and MUX roots (the canonical three-AND shapes produced by
+//     Graph.Xor / Graph.Mux) are detected and encoded with their
+//     4-clause definitions instead of 9 clauses over three AND nodes;
+//     the inner AND pair is skipped unless something else references it.
+type Emitter struct {
+	g *Graph
+	s *sat.Solver
+	// vars[n] is the SAT variable of node n, 0 when not yet emitted.
+	vars []int
+	// Sub, when non-nil, maps a literal to its current representative
+	// before the emitter reads or defines it.
+	Sub func(Lit) Lit
+	// base, when non-nil, owns the encoding of every node with
+	// shared[n] true; LitVar delegates those (the SAT attack shares
+	// key-independent cones between its two keyed copies this way).
+	base   *Emitter
+	shared []bool
+}
+
+// NewEmitter returns an emitter adding clauses to s.
+func NewEmitter(g *Graph, s *sat.Solver) *Emitter {
+	return &Emitter{g: g, s: s, vars: make([]int, g.NumNodes())}
+}
+
+// ShareFrom delegates the encoding of every node with mask[n] true to
+// base (which must emit into the same solver).
+func (e *Emitter) ShareFrom(base *Emitter, mask []bool) {
+	e.base = base
+	e.shared = mask
+}
+
+// SetVar pre-assigns a SAT variable to a node (leaves bound to shared
+// input or key variables).
+func (e *Emitter) SetVar(n, v int) { e.vars[n] = v }
+
+// VarOf returns the SAT variable of node n, or 0 when the node has not
+// been emitted (shared nodes report the delegate's variable).
+func (e *Emitter) VarOf(n int) int {
+	if e.shared != nil && e.shared[n] {
+		return e.base.VarOf(n)
+	}
+	return e.vars[n]
+}
+
+// LitVar returns the signed SAT literal for l, emitting its cone first
+// if needed.
+func (e *Emitter) LitVar(l Lit) int {
+	if e.Sub != nil {
+		l = e.Sub(l)
+	}
+	v := e.nodeVar(l.Node())
+	if l.IsCompl() {
+		return -v
+	}
+	return v
+}
+
+func (e *Emitter) nodeVar(n int) int {
+	if e.shared != nil && e.shared[n] {
+		return e.base.nodeVar(n)
+	}
+	if v := e.vars[n]; v != 0 {
+		return v
+	}
+	if n == 0 {
+		v := e.s.NewVar()
+		e.s.AddClause(-v) // constant-false node
+		e.vars[0] = v
+		return v
+	}
+	if !e.g.IsAnd(n) {
+		// An unbound leaf: a free variable.
+		v := e.s.NewVar()
+		e.vars[n] = v
+		return v
+	}
+	f0, f1 := e.g.Fanins(n)
+	if e.Sub != nil {
+		f0, f1 = e.Sub(f0), e.Sub(f1)
+	}
+	// XOR / MUX shape detection (on the substituted fanins).
+	if sel, t1, t0, ok := e.detectITE(f0, f1); ok {
+		v := e.s.NewVar()
+		e.vars[n] = v
+		EmitITE(e.s, v, e.LitVar(sel), e.LitVar(t1), e.LitVar(t0))
+		return v
+	}
+	a := e.LitVar(f0)
+	b := e.LitVar(f1)
+	v := e.s.NewVar()
+	e.vars[n] = v
+	EmitAnd(e.s, v, a, b)
+	return v
+}
+
+// EmitAnd adds the 3-clause Tseitin definition v ↔ a ∧ b. Literals may
+// be negative. The emitter and the attack's cofactor encoder share
+// this one definition.
+func EmitAnd(s *sat.Solver, v, a, b int) {
+	s.AddClause(-v, a)
+	s.AddClause(-v, b)
+	s.AddClause(v, -a, -b)
+}
+
+// EmitITE adds the 4-clause Tseitin definition v ↔ ITE(sel, t1, t0)
+// (which covers XOR as the t1 == -t0 special case). Literals may be
+// negative.
+func EmitITE(s *sat.Solver, v, sel, t1, t0 int) {
+	s.AddClause(-sel, -v, t1)
+	s.AddClause(-sel, v, -t1)
+	s.AddClause(sel, -v, t0)
+	s.AddClause(sel, v, -t0)
+}
+
+// detectITE recognizes node shapes through the emitter's substitution.
+func (e *Emitter) detectITE(f0, f1 Lit) (sel, t1, t0 Lit, ok bool) {
+	return e.g.detectITEWith(f0, f1, e.Sub)
+}
+
+// DetectITE recognizes AND node n of shape ¬(s∧x) ∧ ¬(¬s∧y): the value
+// is ITE(s, ¬x, ¬y), which covers both MUX and (with y == ¬x) XOR
+// roots. It returns the select literal and the then/else branch
+// literals. Only fires when both fanins are complemented single-level
+// AND references, which is exactly what Graph.Xor / Graph.Mux build.
+func (g *Graph) DetectITE(n int) (sel, t1, t0 Lit, ok bool) {
+	if !g.IsAnd(n) {
+		return
+	}
+	return g.detectITEWith(g.nodes[n].f0, g.nodes[n].f1, nil)
+}
+
+func (g *Graph) detectITEWith(f0, f1 Lit, sub func(Lit) Lit) (sel, t1, t0 Lit, ok bool) {
+	if !f0.IsCompl() || !f1.IsCompl() {
+		return
+	}
+	p, q := f0.Node(), f1.Node()
+	if !g.IsAnd(p) || !g.IsAnd(q) {
+		return
+	}
+	p0, p1 := g.Fanins(p)
+	q0, q1 := g.Fanins(q)
+	if sub != nil {
+		p0, p1 = sub(p0), sub(p1)
+		q0, q1 = sub(q0), sub(q1)
+	}
+	match := func(s, x, y Lit) (Lit, Lit, Lit, bool) {
+		// n = ¬(s∧x) ∧ ¬(¬s∧y) = ITE(s, ¬x, ¬y)
+		return s, x.Not(), y.Not(), true
+	}
+	switch {
+	case p0 == q0.Not():
+		return match(p0, p1, q1)
+	case p0 == q1.Not():
+		return match(p0, p1, q0)
+	case p1 == q0.Not():
+		return match(p1, p0, q1)
+	case p1 == q1.Not():
+		return match(p1, p0, q0)
+	}
+	return
+}

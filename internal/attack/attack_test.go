@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bmarks"
@@ -386,6 +387,73 @@ func TestSATAttackATPGLocked(t *testing.T) {
 	}
 	if !eq {
 		t.Fatal("recovered key is not functionally correct")
+	}
+}
+
+// TestSATAttackInvariantB14Scale: on 0.1-scale b14 — the benchmark
+// configuration behind BENCH_4/BENCH_5 — the AIG-encoded attack must
+// recover a functionally correct key for every locking family (random
+// EPIC-style, strongly-interfering SLL, and the paper's cost-driven
+// ATPG scheme), and on the BENCH_4 configuration (RLL, 64-bit key,
+// seed 12) the incremental clause growth per query must not regress
+// past the 168 clauses/query recorded there.
+func TestSATAttackInvariantB14Scale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("b14-scale attack sweep in -short mode")
+	}
+	orig, err := bmarks.Load("b14", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := func(scheme string) (*locking.Locked, error) {
+		switch scheme {
+		case "rll":
+			return locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: 64, Seed: 12})
+		case "sll":
+			return locking.SLLLock(orig, locking.SLLLockOptions{KeyBits: 32, Seed: 13})
+		case "atpg":
+			lk, _, err := locking.ATPGLock(orig, locking.ATPGLockOptions{KeyBits: 32, Seed: 14})
+			return lk, err
+		}
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	for _, scheme := range []string{"rll", "sll", "atpg"} {
+		t.Run(scheme, func(t *testing.T) {
+			lk, err := lock(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := SATAttack(lk, orig, 2048)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("attack did not converge in %d iterations", res.Iterations)
+			}
+			recovered, err := lk.ApplyKey(res.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := sim.Equivalent(orig, recovered, 1<<16, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatal("recovered key is not functionally correct")
+			}
+			if res.AIGNodes == 0 || res.KeyDepNodes == 0 {
+				t.Errorf("AIG statistics not collected: %+v", res)
+			}
+			if res.KeyDepNodes >= res.AIGNodes {
+				t.Errorf("no key-independent sharing: %d of %d nodes key-dependent", res.KeyDepNodes, res.AIGNodes)
+			}
+			perQuery := float64(res.AddedClauses) / float64(max(res.Iterations, 1))
+			t.Logf("%s: %d queries, %.1f clauses/query, %d AIG nodes (%d key-dependent, %d strash hits)",
+				scheme, res.Iterations, perQuery, res.AIGNodes, res.KeyDepNodes, res.AIGStrashHits)
+			if scheme == "rll" && perQuery > 168 {
+				t.Errorf("clauses/query %.1f regressed past the BENCH_4 bound of 168", perQuery)
+			}
+		})
 	}
 }
 

@@ -3,6 +3,7 @@ package attack
 import (
 	"fmt"
 
+	"repro/internal/aig"
 	"repro/internal/lec"
 	"repro/internal/locking"
 	"repro/internal/netlist"
@@ -31,6 +32,15 @@ type SATResult struct {
 	// The incremental encoding keeps this far below re-encoding the
 	// circuit per iteration; the regression tests assert the bound.
 	AddedClauses int
+	// AIGNodes is the AND-node count of the shared strashed graph both
+	// keyed copies are encoded from (key TIE cells modeled as leaves).
+	AIGNodes int
+	// AIGStrashHits counts hash-cons hits while building that graph.
+	AIGStrashHits int
+	// KeyDepNodes is the number of AIG nodes whose function depends on
+	// a key leaf; only these are encoded per copy — everything else
+	// strashes away into one shared encoding across the two copies.
+	KeyDepNodes int
 }
 
 // SATAttackOptions tunes SATAttackOpt.
@@ -63,14 +73,18 @@ func SATAttack(lk *locking.Locked, oracle *netlist.Circuit, maxIter int) (*SATRe
 	return SATAttackOpt(lk, oracle, SATAttackOptions{MaxIter: maxIter})
 }
 
-// SATAttackOpt is SATAttack with explicit options. The attack is
-// incremental: the two keyed copies and the miter are Tseitin-encoded
-// exactly once; each distinguishing input adds only (a) a blocking
-// clause over the shared input variables, retired per batch through an
-// activation literal, and (b) oracle-consistency constraints encoded
-// over the key-dependent cofactor cone of the circuit under that input
-// (constant nets are folded away, so the growth per iteration is
-// proportional to the key cone, not the circuit).
+// SATAttackOpt is SATAttack with explicit options. The attack runs on
+// the strashed AND-inverter graph of the locked circuit with the key
+// TIE cells modeled as free leaves: the graph is built once, both
+// keyed copies and the miter are Tseitin-encoded from it exactly once
+// (key-independent nodes — identical in both copies by construction —
+// are emitted once and shared), and each distinguishing input adds
+// only (a) a blocking clause over the shared input variables, retired
+// per batch through an activation literal, and (b) oracle-consistency
+// constraints encoded over the key-dependent cofactor cone of the AIG
+// under that input (constant nodes are folded away and XOR/MUX shapes
+// are emitted with their 4-clause definitions, so the growth per
+// iteration is proportional to the key cone, not the circuit).
 func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOptions) (*SATResult, error) {
 	maxIter := opt.MaxIter
 	if maxIter <= 0 {
@@ -86,8 +100,22 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	c := lk.Circuit
 	s := sat.New()
 
+	// One shared strashed graph: key TIE cells become leaves, so cones
+	// that do not reach a key leaf are key-independent by construction.
+	bld := aig.NewBuilder()
+	keyIdxByName := make(map[string]int, len(lk.KeyBits))
+	for i, kb := range lk.KeyBits {
+		name := c.Gate(kb.Tie).Name
+		bld.ForceLeaf(name)
+		keyIdxByName[name] = i
+	}
+	m, err := bld.Add(c)
+	if err != nil {
+		return nil, err
+	}
+	g := bld.Graph()
+
 	// Shared primary input and state variables, in circuit order.
-	shared := make(map[string]int)
 	type diVar struct {
 		v     int // SAT variable in the shared encoding
 		inPos int // oracle input-word index, or -1
@@ -102,9 +130,9 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		stPos[oracle.Gate(id).Name] = i
 	}
 	var diVars []diVar
+	diIdxByName := make(map[string]int)
 	addShared := func(name string) {
 		v := s.NewVar()
-		shared[name] = v
 		dv := diVar{v: v, inPos: -1, stPos: -1}
 		if p, ok := inPos[name]; ok {
 			dv.inPos = p
@@ -112,6 +140,7 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		if p, ok := stPos[name]; ok {
 			dv.stPos = p
 		}
+		diIdxByName[name] = len(diVars)
 		diVars = append(diVars, dv)
 	}
 	for _, id := range c.Inputs() {
@@ -128,38 +157,81 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		k1[i] = s.NewVar()
 		k2[i] = s.NewVar()
 	}
-	// The two keyed copies share one signature table: every net whose
-	// function does not depend on the key collapses into a single
-	// encoding (signatures follow the SAT variables, so the two key
-	// vectors keep the key cones apart).
-	sigTable := make(map[uint64]int)
-	varsA, err := encodeKeyed(s, c, lk, shared, k1, sigTable)
-	if err != nil {
-		return nil, err
+
+	// Leaf roles and the key-dependency mask: a node depends on the key
+	// iff its cone reaches a key leaf. Key-independent nodes are
+	// identical in both keyed copies and encoded once.
+	leafDi := make([]int, g.NumLeaves())
+	leafKey := make([]int, g.NumLeaves())
+	for i := range leafDi {
+		name := bld.LeafName(i)
+		leafDi[i] = -1
+		leafKey[i] = -1
+		if ki, ok := keyIdxByName[name]; ok {
+			leafKey[i] = ki
+		} else if di, ok := diIdxByName[name]; ok {
+			leafDi[i] = di
+		} else {
+			return nil, fmt.Errorf("attack: leaf %q is neither an input, a state bit, nor a key tie", name)
+		}
 	}
-	varsB, err := encodeKeyed(s, c, lk, shared, k2, sigTable)
-	if err != nil {
-		return nil, err
+	keyDep := make([]bool, g.NumNodes())
+	shared := make([]bool, g.NumNodes())
+	for i := range leafKey {
+		if leafKey[i] >= 0 {
+			keyDep[g.Leaf(i).Node()] = true
+		}
+	}
+	for n := 1; n < g.NumNodes(); n++ {
+		if g.IsAnd(n) {
+			f0, f1 := g.Fanins(n)
+			keyDep[n] = keyDep[f0.Node()] || keyDep[f1.Node()]
+		}
+	}
+	keyDepNodes := 0
+	for n := range keyDep {
+		shared[n] = !keyDep[n]
+		if keyDep[n] && g.IsAnd(n) {
+			keyDepNodes++
+		}
 	}
 
-	// Conditional miter: active → outputs differ somewhere. Observables
-	// shared between the copies are key-independent and can never
-	// distinguish two keys; they need no difference detector.
+	emA := aig.NewEmitter(g, s)
+	emB := aig.NewEmitter(g, s)
+	emB.ShareFrom(emA, shared)
+	for i := range leafDi {
+		n := g.Leaf(i).Node()
+		if leafKey[i] >= 0 {
+			emA.SetVar(n, k1[leafKey[i]])
+			emB.SetVar(n, k2[leafKey[i]])
+		} else {
+			emA.SetVar(n, diVars[leafDi[i]].v)
+		}
+	}
+
+	// Observable literals: outputs by position, then next-state bits.
+	var obsLits []aig.Lit
+	for _, o := range c.Outputs() {
+		obsLits = append(obsLits, m[o])
+	}
+	for _, ff := range c.DFFs() {
+		obsLits = append(obsLits, m[c.Gate(ff).Fanin[0]])
+	}
+
+	// Conditional miter: active → some key-dependent observable
+	// differs. Key-independent observables are the same node in both
+	// copies and can never distinguish two keys.
 	active := s.NewVar()
 	var diffs []int
-	addDiff := func(va, vb int) {
-		if va == vb {
-			return
+	for _, ol := range obsLits {
+		if !keyDep[ol.Node()] {
+			continue
 		}
+		va := emA.LitVar(ol)
+		vb := emB.LitVar(ol)
 		d := s.NewVar()
 		lec.XorClauses(s, d, va, vb)
 		diffs = append(diffs, d)
-	}
-	for _, o := range c.Outputs() {
-		addDiff(varsA[c.Gate(o).Fanin[0]], varsB[c.Gate(o).Fanin[0]])
-	}
-	for _, ff := range c.DFFs() {
-		addDiff(varsA[c.Gate(ff).Fanin[0]], varsB[c.Gate(ff).Fanin[0]])
 	}
 	miter := append(append([]int{}, diffs...), -active)
 	s.AddClause(miter...)
@@ -172,12 +244,14 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	ost := make([]uint64, len(oracle.DFFs()))
 	nets := ev.NewNetBuffer()
 
-	cof, err := newCofEncoder(c, lk)
-	if err != nil {
-		return nil, err
-	}
+	cof := newAIGCof(g, leafDi, leafKey, obsLits)
 
-	res := &SATResult{BaseClauses: s.NumProblemClauses()}
+	res := &SATResult{
+		BaseClauses:   s.NumProblemClauses(),
+		AIGNodes:      g.NumAnds(),
+		AIGStrashHits: g.Stats.StrashHits,
+		KeyDepNodes:   keyDepNodes,
+	}
 	dis := make([][]bool, 0, batch)
 	for res.Iterations < maxIter {
 		// Mine a batch of distinct distinguishing inputs. Distinctness
@@ -259,9 +333,7 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 			for _, ff := range oracle.DFFs() {
 				obs = append(obs, nets[oracle.Gate(ff).Fanin[0]]>>uint(t)&1 == 1)
 			}
-			if err := cof.cofactor(di); err != nil {
-				return nil, err
-			}
+			cof.cofactor(di)
 			if err := cof.constrain(s, k1, obs); err != nil {
 				return nil, err
 			}
@@ -287,329 +359,148 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	return res, nil
 }
 
-// encodeKeyed encodes the locked circuit with its key TIE cells bound
-// to the given key variables and inputs bound to shared variables,
-// sharing key-independent structure through sigTable.
-func encodeKeyed(s *sat.Solver, c *netlist.Circuit, lk *locking.Locked, shared map[string]int, keyVars []int, sigTable map[uint64]int) (lec.VarMap, error) {
-	bound := make(map[string]int, len(shared)+len(keyVars))
-	for name, v := range shared {
-		bound[name] = v
-	}
-	for i, kb := range lk.KeyBits {
-		bound[c.Gate(kb.Tie).Name] = keyVars[i]
-	}
-	enc := lec.NewEncoder(s)
-	enc.Bind(bound)
-	enc.ShareStructure(sigTable)
-	return enc.Encode(c)
+// aigCof adds oracle-consistency constraints for one concrete input:
+// it cofactors the shared AIG under the input (ternary constant
+// propagation with the key leaves as unknowns) and lazily Tseitin-
+// encodes only the key-dependent nodes reachable from an observable,
+// folding constants into the clauses and emitting detected XOR/MUX
+// shapes with their compact definitions. Everything outside the key
+// cone costs zero variables and zero clauses.
+type aigCof struct {
+	g       *aig.Graph
+	leafDi  []int // leaf -> distinguishing-input bit index, or -1
+	leafKey []int // leaf -> key-bit index, or -1
+	obs     []aig.Lit
+	val     []int8 // per-node cofactor value (0, 1, or -1 = key-dependent)
+	lit     []int  // per-node SAT literal, valid when stamp matches
+	stamp   []uint32
+	cur     uint32
 }
 
-// cofEncoder adds oracle-consistency constraints for one concrete
-// input: it cofactors the locked circuit under the input (ternary
-// constant propagation with the key TIE cells as unknowns) and Tseitin-
-// encodes only the key-dependent nets, folding constants into the
-// clauses. Everything outside the key cone costs zero variables and
-// zero clauses.
-type cofEncoder struct {
-	c      *netlist.Circuit
-	order  []netlist.GateID
-	keyIdx []int // GateID -> key-bit index, or -1
-	inIdx  []int // GateID -> distinguishing-input bit index, or -1
-	obsNet []netlist.GateID
-	val    []int8 // scratch: per-net cofactor value (0, 1, or -1 = key-dependent)
-	lit    []int  // scratch: per-net literal for key-dependent nets
-	clBuf  []int
+func newAIGCof(g *aig.Graph, leafDi, leafKey []int, obs []aig.Lit) *aigCof {
+	return &aigCof{
+		g:       g,
+		leafDi:  leafDi,
+		leafKey: leafKey,
+		obs:     obs,
+		val:     make([]int8, g.NumNodes()),
+		lit:     make([]int, g.NumNodes()),
+		stamp:   make([]uint32, g.NumNodes()),
+	}
 }
 
-func newCofEncoder(c *netlist.Circuit, lk *locking.Locked) (*cofEncoder, error) {
-	order, err := c.TopoOrder()
-	if err != nil {
-		return nil, err
+// litVal reads the ternary value of a literal (-1 = key-dependent).
+func (e *aigCof) litVal(l aig.Lit) int8 {
+	v := e.val[l.Node()]
+	if v < 0 {
+		return -1
 	}
-	e := &cofEncoder{
-		c:      c,
-		order:  order,
-		keyIdx: make([]int, c.NumIDs()),
-		inIdx:  make([]int, c.NumIDs()),
-		val:    make([]int8, c.NumIDs()),
-		lit:    make([]int, c.NumIDs()),
+	if l.IsCompl() {
+		return 1 - v
 	}
-	for i := range e.keyIdx {
-		e.keyIdx[i] = -1
-		e.inIdx[i] = -1
-	}
-	for i, kb := range lk.KeyBits {
-		e.keyIdx[kb.Tie] = i
-	}
-	n := 0
-	for _, id := range c.Inputs() {
-		e.inIdx[id] = n
-		n++
-	}
-	for _, id := range c.DFFs() {
-		e.inIdx[id] = n
-		n++
-	}
-	for _, o := range c.Outputs() {
-		e.obsNet = append(e.obsNet, c.Gate(o).Fanin[0])
-	}
-	for _, ff := range c.DFFs() {
-		e.obsNet = append(e.obsNet, c.Gate(ff).Fanin[0])
-	}
-	return e, nil
+	return v
 }
 
-// cofactor computes the ternary cofactor values of every net under
-// input di: 0/1 constants, or -1 for nets whose value varies with the
-// key. The pass is key-independent; run it once per input, then call
+// cofactor computes the ternary value of every node under input di.
+// The pass is key-independent; run it once per input, then call
 // constrain once per key copy.
-func (e *cofEncoder) cofactor(di []bool) error {
-	c := e.c
-	for _, id := range e.order {
-		g := c.Gate(id)
-		var v int8
-		switch g.Type {
-		case netlist.Input, netlist.DFF:
-			v = 0
-			if di[e.inIdx[id]] {
-				v = 1
-			}
-		case netlist.TieHi:
-			if e.keyIdx[id] >= 0 {
-				v = -1
+func (e *aigCof) cofactor(di []bool) {
+	g := e.g
+	e.val[0] = 0
+	for n := 1; n < g.NumNodes(); n++ {
+		if li := g.LeafIndex(n); li >= 0 {
+			if e.leafKey[li] >= 0 {
+				e.val[n] = -1
+			} else if di[e.leafDi[li]] {
+				e.val[n] = 1
 			} else {
-				v = 1
+				e.val[n] = 0
 			}
-		case netlist.TieLo:
-			if e.keyIdx[id] >= 0 {
-				v = -1
-			} else {
-				v = 0
-			}
-		case netlist.Buf, netlist.Output:
-			v = e.val[g.Fanin[0]]
-		case netlist.Not:
-			v = e.val[g.Fanin[0]]
-			if v >= 0 {
-				v = 1 - v
-			}
-		case netlist.And, netlist.Nand:
-			v = 1
-			for _, f := range g.Fanin {
-				fv := e.val[f]
-				if fv == 0 {
-					v = 0
-					break
-				}
-				if fv < 0 {
-					v = -1
-				}
-			}
-			if v >= 0 && g.Type == netlist.Nand {
-				v = 1 - v
-			}
-		case netlist.Or, netlist.Nor:
-			v = 0
-			for _, f := range g.Fanin {
-				fv := e.val[f]
-				if fv == 1 {
-					v = 1
-					break
-				}
-				if fv < 0 {
-					v = -1
-				}
-			}
-			if v >= 0 && g.Type == netlist.Nor {
-				v = 1 - v
-			}
-		case netlist.Xor, netlist.Xnor:
-			v = 0
-			for _, f := range g.Fanin {
-				fv := e.val[f]
-				if fv < 0 {
-					v = -1
-					break
-				}
-				v ^= fv
-			}
-			if v >= 0 && g.Type == netlist.Xnor {
-				v = 1 - v
-			}
-		case netlist.Mux:
-			sel := e.val[g.Fanin[0]]
-			a, b := e.val[g.Fanin[1]], e.val[g.Fanin[2]]
-			switch {
-			case sel == 0:
-				v = a
-			case sel == 1:
-				v = b
-			case a >= 0 && a == b:
-				v = a
-			default:
-				v = -1
-			}
-		default:
-			return fmt.Errorf("attack: cannot cofactor gate type %v", g.Type)
-		}
-		e.val[id] = v
-	}
-	return nil
-}
-
-// constrain encodes the key-dependent nets of the current cofactor
-// (see cofactor) for one key copy, with constant fanins folded away,
-// and forces the observables to the oracle outputs obs (outputs then
-// next-state bits, matching obsNet). Single-fanin survivors become
-// literal aliases (no variable, no clause).
-func (e *cofEncoder) constrain(s *sat.Solver, kv []int, obs []bool) error {
-	c := e.c
-	for _, id := range e.order {
-		if e.val[id] >= 0 {
 			continue
 		}
-		g := c.Gate(id)
-		switch g.Type {
-		case netlist.TieHi, netlist.TieLo:
-			e.lit[id] = kv[e.keyIdx[id]]
-		case netlist.Buf, netlist.Output:
-			e.lit[id] = e.lit[g.Fanin[0]]
-		case netlist.Not:
-			e.lit[id] = -e.lit[g.Fanin[0]]
-		case netlist.And, netlist.Nand:
-			// Constant fanins are all 1 here (a 0 would have made the
-			// gate constant): drop them.
-			syms := e.clBuf[:0]
-			for _, f := range g.Fanin {
-				if e.val[f] < 0 {
-					syms = append(syms, e.lit[f])
-				}
-			}
-			e.lit[id] = e.encodeAndOr(s, syms, g.Type == netlist.Nand, true)
-			e.clBuf = syms[:0]
-		case netlist.Or, netlist.Nor:
-			syms := e.clBuf[:0]
-			for _, f := range g.Fanin {
-				if e.val[f] < 0 {
-					syms = append(syms, e.lit[f])
-				}
-			}
-			e.lit[id] = e.encodeAndOr(s, syms, g.Type == netlist.Nor, false)
-			e.clBuf = syms[:0]
-		case netlist.Xor, netlist.Xnor:
-			parity := g.Type == netlist.Xnor
-			acc := 0
-			for _, f := range g.Fanin {
-				if e.val[f] >= 0 {
-					if e.val[f] == 1 {
-						parity = !parity
-					}
-					continue
-				}
-				if acc == 0 {
-					acc = e.lit[f]
-					continue
-				}
-				t := s.NewVar()
-				lec.XorClauses(s, t, acc, e.lit[f])
-				acc = t
-			}
-			if parity {
-				acc = -acc
-			}
-			e.lit[id] = acc
-		case netlist.Mux:
-			selv := e.val[g.Fanin[0]]
-			af, bf := g.Fanin[1], g.Fanin[2]
-			if selv == 0 {
-				e.lit[id] = e.lit[af]
-				break
-			}
-			if selv == 1 {
-				e.lit[id] = e.lit[bf]
-				break
-			}
-			sel := e.lit[g.Fanin[0]]
-			av, bv := e.val[af], e.val[bf]
-			if av >= 0 && bv >= 0 {
-				// Branches are distinct constants: v follows ±sel.
-				if av == 0 { // sel=0 → 0, sel=1 → 1
-					e.lit[id] = sel
-				} else {
-					e.lit[id] = -sel
-				}
-				break
-			}
-			v := s.NewVar()
-			if av >= 0 { // constant a branch
-				if av == 1 {
-					s.AddClause(sel, v)
-				} else {
-					s.AddClause(sel, -v)
-				}
-			} else {
-				s.AddClause(sel, -e.lit[af], v)
-				s.AddClause(sel, e.lit[af], -v)
-			}
-			if bv >= 0 {
-				if bv == 1 {
-					s.AddClause(-sel, v)
-				} else {
-					s.AddClause(-sel, -v)
-				}
-			} else {
-				s.AddClause(-sel, -e.lit[bf], v)
-				s.AddClause(-sel, e.lit[bf], -v)
-			}
-			e.lit[id] = v
+		f0, f1 := g.Fanins(n)
+		v0, v1 := e.litVal(f0), e.litVal(f1)
+		switch {
+		case v0 == 0 || v1 == 0:
+			e.val[n] = 0
+		case v0 == 1 && v1 == 1:
+			e.val[n] = 1
+		default:
+			e.val[n] = -1
 		}
 	}
+}
 
-	// Observables must match the oracle.
-	for i, n := range e.obsNet {
-		if e.val[n] >= 0 {
-			if (e.val[n] == 1) != obs[i] {
+// emitLit returns the signed SAT literal of l, emitting its cofactor
+// cone first if needed. l's node must be key-dependent (val == -1).
+func (e *aigCof) emitLit(s *sat.Solver, kv []int, l aig.Lit) int {
+	v := e.emit(s, kv, l.Node())
+	if l.IsCompl() {
+		return -v
+	}
+	return v
+}
+
+func (e *aigCof) emit(s *sat.Solver, kv []int, n int) int {
+	if e.stamp[n] == e.cur {
+		return e.lit[n]
+	}
+	g := e.g
+	var l int
+	if li := g.LeafIndex(n); li >= 0 {
+		l = kv[e.leafKey[li]]
+	} else if sel, t1, t0, ok := g.DetectITE(n); ok &&
+		e.litVal(sel) < 0 && e.litVal(t1) < 0 && e.litVal(t0) < 0 {
+		// MUX/XOR shape with a symbolic select and symbolic branches:
+		// 4 clauses instead of three AND nodes' 9.
+		ls := e.emitLit(s, kv, sel)
+		l1 := e.emitLit(s, kv, t1)
+		l0 := e.emitLit(s, kv, t0)
+		v := s.NewVar()
+		aig.EmitITE(s, v, ls, l1, l0)
+		l = v
+	} else {
+		// Generic AND with constant fanins folded away. A constant
+		// fanin is necessarily 1 (a 0 would have made the node 0).
+		f0, f1 := g.Fanins(n)
+		v0, v1 := e.litVal(f0), e.litVal(f1)
+		switch {
+		case v0 >= 0:
+			l = e.emitLit(s, kv, f1)
+		case v1 >= 0:
+			l = e.emitLit(s, kv, f0)
+		default:
+			a := e.emitLit(s, kv, f0)
+			b := e.emitLit(s, kv, f1)
+			v := s.NewVar()
+			aig.EmitAnd(s, v, a, b)
+			l = v
+		}
+	}
+	e.lit[n] = l
+	e.stamp[n] = e.cur
+	return l
+}
+
+// constrain encodes the key-dependent cones of the current cofactor
+// (see cofactor) for one key copy and forces the observables to the
+// oracle outputs obs (outputs then next-state bits, matching the
+// obs literal order).
+func (e *aigCof) constrain(s *sat.Solver, kv []int, obs []bool) error {
+	e.cur++
+	for i, ol := range e.obs {
+		if v := e.litVal(ol); v >= 0 {
+			if (v == 1) != obs[i] {
 				return fmt.Errorf("attack: oracle disagrees with key-independent output %d — oracle is not the original circuit", i)
 			}
 			continue
 		}
+		l := e.emitLit(s, kv, ol)
 		if obs[i] {
-			s.AddClause(e.lit[n])
+			s.AddClause(l)
 		} else {
-			s.AddClause(-e.lit[n])
+			s.AddClause(-l)
 		}
 	}
 	return nil
-}
-
-// encodeAndOr Tseitin-encodes v ↔ AND(syms) (and=true) or v ↔ OR(syms)
-// over the surviving symbolic fanins, returning the output literal
-// (negated for NAND/NOR via neg). A single fanin becomes an alias.
-func (e *cofEncoder) encodeAndOr(s *sat.Solver, syms []int, neg, and bool) int {
-	if len(syms) == 1 {
-		if neg {
-			return -syms[0]
-		}
-		return syms[0]
-	}
-	v := s.NewVar()
-	long := make([]int, 0, len(syms)+1)
-	if and {
-		for _, a := range syms {
-			s.AddClause(-v, a)
-			long = append(long, -a)
-		}
-		long = append(long, v)
-	} else {
-		for _, a := range syms {
-			s.AddClause(v, -a)
-			long = append(long, a)
-		}
-		long = append(long, -v)
-	}
-	s.AddClause(long...)
-	if neg {
-		return -v
-	}
-	return v
 }

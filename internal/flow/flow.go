@@ -51,6 +51,10 @@ type Config struct {
 	// of random patterns simulated before the SAT miter runs (0 = the
 	// checker default, negative disables the prefilter and forces SAT).
 	LECPrefilterPatterns int
+	// LECLegacyEncoder routes the Fig. 3 LEC step through the pre-AIG
+	// Tseitin encoder instead of the strashed AND-inverter graph
+	// (benchmark baseline; the AIG path is the default).
+	LECLegacyEncoder bool
 	// PlacePasses overrides placement improvement passes (0 = default).
 	PlacePasses int
 }
@@ -82,6 +86,11 @@ type Artifacts struct {
 	Routes     *route.Result
 	View       *split.FEOLView
 	Secret     *split.Secret
+	// LECStats reports the structural-hashing work of the Fig. 3 LEC
+	// step (AIG nodes, strash hits, sweep merges, miter clauses); nil
+	// when the design exceeded LECGateLimit and was verified by
+	// simulation instead.
+	LECStats *lec.Stats
 	// Runtime is the wall-clock time of the full flow.
 	Runtime time.Duration
 }
@@ -109,7 +118,8 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flow: locking: %w", err)
 	}
-	if err := verifyEquivalence(orig, lk.Circuit, cfg); err != nil {
+	lecStats, err := verifyEquivalence(orig, lk.Circuit, cfg)
+	if err != nil {
 		return nil, err
 	}
 
@@ -144,34 +154,37 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 		Routes:     routes,
 		View:       view,
 		Secret:     secret,
+		LECStats:   lecStats,
 		Runtime:    time.Since(start),
 	}, nil
 }
 
 // verifyEquivalence is the Fig. 3 LEC step: full SAT-based equivalence
-// for small designs, heavy random simulation for large ones.
-func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) error {
+// for small designs, heavy random simulation for large ones. For the
+// SAT path it returns the checker's structural statistics.
+func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, error) {
 	if orig.NumGates() <= cfg.LECGateLimit {
 		res, err := lec.Check(orig, locked, lec.Options{
 			Seed:              cfg.Seed,
 			PrefilterPatterns: cfg.LECPrefilterPatterns,
+			LegacyEncoder:     cfg.LECLegacyEncoder,
 		})
 		if err != nil {
-			return fmt.Errorf("flow: LEC: %w", err)
+			return nil, fmt.Errorf("flow: LEC: %w", err)
 		}
 		if !res.Equivalent {
-			return fmt.Errorf("flow: LEC rejected the locked netlist (cex %v)", res.Counterexample)
+			return nil, fmt.Errorf("flow: LEC rejected the locked netlist (cex %v)", res.Counterexample)
 		}
-		return nil
+		return &res.Stats, nil
 	}
 	eq, err := sim.Equivalent(orig, locked, 1<<16, cfg.Seed)
 	if err != nil {
-		return fmt.Errorf("flow: equivalence simulation: %w", err)
+		return nil, fmt.Errorf("flow: equivalence simulation: %w", err)
 	}
 	if !eq {
-		return fmt.Errorf("flow: locked netlist diverges from the original under simulation")
+		return nil, fmt.Errorf("flow: locked netlist diverges from the original under simulation")
 	}
-	return nil
+	return nil, nil
 }
 
 // LayoutVariant produces a placed-and-routed PPA measurement for one of

@@ -3,11 +3,15 @@
 // flow (the locked netlist must be formally equivalent to the original
 // under the correct key; non-equivalent locking attempts are rejected).
 //
-// The checker builds a miter over a Tseitin encoding of both circuits
-// and decides it with the internal CDCL SAT solver. A bit-parallel
+// The checker rewrites both circuits into one shared strashed
+// AND-inverter graph (internal/aig), sweeps the unresolved cones with
+// complement-canonical simulation signatures and bounded SAT probes,
+// and decides the surviving observable pairs over a Tseitin-on-AIG
+// miter with the internal CDCL solver. A bit-parallel
 // random-simulation prefilter catches most non-equivalences cheaply.
 // Sequential designs are checked combinationally with flip-flops
 // matched by name (register correspondence), the standard approach.
+// Options.LegacyEncoder selects the pre-AIG direct-encoding path.
 package lec
 
 import (
@@ -27,9 +31,31 @@ type Result struct {
 	// flip-flop) names to values that distinguish the circuits. It is
 	// nil when the prefilter found the mismatch.
 	Counterexample map[string]bool
-	// UsedSAT is true when the SAT solver ran (the prefilter did not
-	// decide).
+	// UsedSAT is true when the prefilter did not decide and the proof
+	// came from the structural/SAT engine (on the AIG path a fully
+	// strashed miter may still need zero solver calls).
 	UsedSAT bool
+	// Stats reports the structural work behind the verdict.
+	Stats Stats
+}
+
+// Stats describes the structural-hashing layer's contribution to one
+// check. On the legacy-encoder path only ProblemClauses is filled.
+type Stats struct {
+	// AIGNodes is the AND-node count of the shared strashed graph.
+	AIGNodes int
+	// StrashHits counts hash-cons table hits during graph construction
+	// (cones of the second circuit collapsing onto the first).
+	StrashHits int
+	// SweepMerges counts node equivalences proven by the sweeper,
+	// including complement merges.
+	SweepMerges int
+	// SATPairs counts observable pairs that needed a SAT call (pairs
+	// proven by structural identity need none).
+	SATPairs int
+	// ProblemClauses is the final problem-clause count of the miter
+	// instance (0 when the whole proof was structural).
+	ProblemClauses int
 }
 
 // Options tunes the checker.
@@ -40,6 +66,13 @@ type Options struct {
 	PrefilterPatterns int
 	// Seed drives the prefilter stimulus.
 	Seed uint64
+	// LegacyEncoder selects the pre-AIG path: direct Tseitin encoding
+	// of the netlists with variable-signature sharing and the
+	// simulation-guided sweep of the encoder merge hook. The default
+	// (false) routes the check through the strashed AND-inverter
+	// graph, whose complement-canonical sweeping also merges
+	// XNOR-complement equivalences.
+	LegacyEncoder bool
 }
 
 // Check decides whether circuits a and b are functionally equivalent.
@@ -60,6 +93,9 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 		if !eq {
 			return Result{Equivalent: false}, nil
 		}
+	}
+	if !opt.LegacyEncoder {
+		return checkAIG(a, b, opt)
 	}
 
 	s := sat.New()
@@ -140,7 +176,8 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 			for _, id := range a.DFFs() {
 				cex[a.Gate(id).Name] = s.Value(varsA[id])
 			}
-			return Result{Equivalent: false, Counterexample: cex, UsedSAT: true}, nil
+			return Result{Equivalent: false, Counterexample: cex, UsedSAT: true,
+				Stats: Stats{ProblemClauses: s.NumProblemClauses()}}, nil
 		case sat.Unsat:
 			// This observable is equivalent; permanently disable its
 			// activation literal and move on.
@@ -149,7 +186,8 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 			return Result{}, fmt.Errorf("lec: solver returned unknown")
 		}
 	}
-	return Result{Equivalent: true, UsedSAT: true}, nil
+	return Result{Equivalent: true, UsedSAT: true,
+		Stats: Stats{ProblemClauses: s.NumProblemClauses()}}, nil
 }
 
 // sweepWords is the number of 64-pattern words used to bucket internal

@@ -158,36 +158,43 @@ func RandomLock(orig *netlist.Circuit, opt RandomLockOptions) (*Locked, error) {
 	key := RandomKey(opt.KeyBits, rng)
 	lk := &Locked{Circuit: c, Key: key, Scheme: "random-epic"}
 	for i := 0; i < opt.KeyBits; i++ {
-		net := candidates[perm[i]]
-		bit := key.Bits[i]
-		// XOR with key 0 or XNOR with key 1 preserves the function.
-		gt := netlist.Xor
-		tt := netlist.TieLo
-		if bit {
-			gt = netlist.Xnor
-			tt = netlist.TieHi
-		}
-		tie, err := c.AddGate(fmt.Sprintf("tie_k%d", i), tt)
-		if err != nil {
+		if err := insertXorKeyGate(c, lk, candidates[perm[i]], i, key.Bits[i]); err != nil {
 			return nil, err
 		}
-		kg, err := c.AddGate(fmt.Sprintf("kg%d", i), gt, net, tie)
-		if err != nil {
-			return nil, err
-		}
-		// Move the original sinks of net to the key-gate output
-		// (excluding the key-gate itself, whose pin 0 must keep
-		// reading the original net).
-		c.RewireNet(net, kg)
-		c.Gate(kg).Fanin[0] = net
-		c.Invalidate()
-		c.Gate(tie).DontTouch = true
-		c.Gate(kg).DontTouch = true
-		c.Gate(kg).KeyPin = 1
-		lk.KeyBits = append(lk.KeyBits, KeyBit{Tie: tie, Gate: kg, Pin: 1, Value: bit})
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("locking: random lock broke the netlist: %w", err)
 	}
 	return lk, nil
+}
+
+// insertXorKeyGate splices an XOR/XNOR key-gate (with its TIE cell) on
+// net as key bit i, recording the bit on lk. XOR with key 0 or XNOR
+// with key 1 preserves the function.
+func insertXorKeyGate(c *netlist.Circuit, lk *Locked, net netlist.GateID, i int, bit bool) error {
+	gt := netlist.Xor
+	tt := netlist.TieLo
+	if bit {
+		gt = netlist.Xnor
+		tt = netlist.TieHi
+	}
+	tie, err := c.AddGate(fmt.Sprintf("tie_k%d", i), tt)
+	if err != nil {
+		return err
+	}
+	kg, err := c.AddGate(fmt.Sprintf("kg%d", i), gt, net, tie)
+	if err != nil {
+		return err
+	}
+	// Move the original sinks of net to the key-gate output (excluding
+	// the key-gate itself, whose pin 0 must keep reading the original
+	// net).
+	c.RewireNet(net, kg)
+	c.Gate(kg).Fanin[0] = net
+	c.Invalidate()
+	c.Gate(tie).DontTouch = true
+	c.Gate(kg).DontTouch = true
+	c.Gate(kg).KeyPin = 1
+	lk.KeyBits = append(lk.KeyBits, KeyBit{Tie: tie, Gate: kg, Pin: 1, Value: bit})
+	return nil
 }

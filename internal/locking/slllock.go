@@ -1,0 +1,101 @@
+package locking
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// SLLLockOptions configures strongly-interfering locking.
+type SLLLockOptions struct {
+	// KeyBits is the number of key-gates to insert (default 128).
+	KeyBits int
+	// Seed drives net selection and key generation.
+	Seed uint64
+}
+
+// SLLLock inserts XOR/XNOR key-gates like RandomLock but selects nets
+// so that the key-gates pairwise interfere, in the spirit of
+// strongly-interfering logic locking [Yasin et al., TCAD'16]: after a
+// random seed gate, every further key-gate is placed on a net whose
+// cone overlaps the transitive fanin or fanout of an already-locked
+// net. Interfering key-gates cannot be muted one at a time, which is
+// what makes SLL-locked instances the harder family for oracle-guided
+// SAT attacks — the attack regression suite uses this scheme as its
+// adversarial locking generator.
+func SLLLock(orig *netlist.Circuit, opt SLLLockOptions) (*Locked, error) {
+	if opt.KeyBits <= 0 {
+		opt.KeyBits = 128
+	}
+	c := orig.Clone()
+	rng := sim.NewRand(opt.Seed ^ 0x511)
+	var candidates []netlist.GateID
+	for i := 0; i < c.NumIDs(); i++ {
+		id := netlist.GateID(i)
+		if !c.Alive(id) {
+			continue
+		}
+		g := c.Gate(id)
+		if g.Type == netlist.Output || g.Type.IsTie() || g.DontTouch {
+			continue
+		}
+		if c.FanoutCount(id) == 0 {
+			continue
+		}
+		candidates = append(candidates, id)
+	}
+	if len(candidates) < opt.KeyBits {
+		return nil, fmt.Errorf("locking: circuit has %d lockable nets, need %d", len(candidates), opt.KeyBits)
+	}
+	key := RandomKey(opt.KeyBits, rng)
+	lk := &Locked{Circuit: c, Key: key, Scheme: "sll-interference"}
+
+	// interfere is the union of the transitive fanin and fanout cones
+	// of every locked net (computed on the original topology, before
+	// key-gates are spliced in).
+	interfere := make(map[netlist.GateID]bool)
+	grow := func(net netlist.GateID) {
+		for id := range orig.TransitiveFanin(net) {
+			interfere[id] = true
+		}
+		for id := range orig.TransitiveFanout(net) {
+			interfere[id] = true
+		}
+	}
+	used := make(map[netlist.GateID]bool)
+	perm := rng.Perm(len(candidates))
+	pick := func(wantInterfering bool) netlist.GateID {
+		for _, pi := range perm {
+			id := candidates[pi]
+			if used[id] {
+				continue
+			}
+			if wantInterfering && !interfere[id] {
+				continue
+			}
+			return id
+		}
+		return netlist.InvalidGate
+	}
+	for i := 0; i < opt.KeyBits; i++ {
+		net := pick(i > 0)
+		if net == netlist.InvalidGate {
+			// No interfering candidate left: fall back to any free net
+			// (small circuits exhaust the overlap set).
+			net = pick(false)
+		}
+		if net == netlist.InvalidGate {
+			return nil, fmt.Errorf("locking: ran out of lockable nets after %d key bits", i)
+		}
+		used[net] = true
+		grow(net)
+		if err := insertXorKeyGate(c, lk, net, i, key.Bits[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("locking: SLL lock broke the netlist: %w", err)
+	}
+	return lk, nil
+}
