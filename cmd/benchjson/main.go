@@ -39,7 +39,7 @@ type Result struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkTable|BenchmarkFig5|BenchmarkSATSolver|BenchmarkLEC|BenchmarkSATAttack|BenchmarkAIGMiter", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkTable|BenchmarkFig5|BenchmarkSATSolver|BenchmarkLEC|BenchmarkSATAttack|BenchmarkAIGMiter|BenchmarkPortfolioMiter", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", ".", "directory for BENCH_<n>.json files")

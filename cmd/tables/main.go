@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
 		simWork  = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		satWork  = flag.Int("satworkers", 0, "SAT portfolio members per LEC solve (0/1 = single deterministic solver; >1 races diverging solvers, same verdicts)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		rows, err := flow.RunITC(flow.ITCOptions{
 			Scale: *scale, KeyBits: *keyBits, Patterns: *patterns,
 			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
+			SolverWorkers: *satWork,
 		})
 		if err != nil {
 			// The error joins every failed benchmark×layer job in row
@@ -72,7 +74,7 @@ func main() {
 		any = true
 		rows, err := flow.RunISCAS(flow.ISCASOptions{
 			KeyBits: *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
-			SimWorkers: *simWork,
+			SimWorkers: *simWork, SolverWorkers: *satWork,
 		})
 		if err != nil {
 			fail(err)

@@ -18,7 +18,7 @@ import "repro/internal/sat"
 //     the inner AND pair is skipped unless something else references it.
 type Emitter struct {
 	g *Graph
-	s *sat.Solver
+	s sat.Interface
 	// vars[n] is the SAT variable of node n, 0 when not yet emitted.
 	vars []int
 	// Sub, when non-nil, maps a literal to its current representative
@@ -31,8 +31,9 @@ type Emitter struct {
 	shared []bool
 }
 
-// NewEmitter returns an emitter adding clauses to s.
-func NewEmitter(g *Graph, s *sat.Solver) *Emitter {
+// NewEmitter returns an emitter adding clauses to s (a single solver
+// or a portfolio).
+func NewEmitter(g *Graph, s sat.Interface) *Emitter {
 	return &Emitter{g: g, s: s, vars: make([]int, g.NumNodes())}
 }
 
@@ -110,7 +111,7 @@ func (e *Emitter) nodeVar(n int) int {
 // EmitAnd adds the 3-clause Tseitin definition v ↔ a ∧ b. Literals may
 // be negative. The emitter and the attack's cofactor encoder share
 // this one definition.
-func EmitAnd(s *sat.Solver, v, a, b int) {
+func EmitAnd(s sat.Interface, v, a, b int) {
 	s.AddClause(-v, a)
 	s.AddClause(-v, b)
 	s.AddClause(v, -a, -b)
@@ -119,7 +120,7 @@ func EmitAnd(s *sat.Solver, v, a, b int) {
 // EmitITE adds the 4-clause Tseitin definition v ↔ ITE(sel, t1, t0)
 // (which covers XOR as the t1 == -t0 special case). Literals may be
 // negative.
-func EmitITE(s *sat.Solver, v, sel, t1, t0 int) {
+func EmitITE(s sat.Interface, v, sel, t1, t0 int) {
 	s.AddClause(-sel, -v, t1)
 	s.AddClause(-sel, v, -t1)
 	s.AddClause(sel, -v, t0)

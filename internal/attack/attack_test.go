@@ -321,6 +321,48 @@ func TestSATAttackClauseGrowthBounded(t *testing.T) {
 		res.BaseClauses, res.Iterations, res.AddedClauses, perIter, res.SolveCalls, res.OracleEvals)
 }
 
+// TestSATAttackPortfolio: the attack with per-query portfolio solving
+// must still recover a functionally correct key and keep the
+// incremental clause-growth bound, for every worker count. Which
+// distinguishing inputs are mined depends on the race, so only the
+// invariants — convergence, correctness, boundedness — are asserted.
+func TestSATAttackPortfolio(t *testing.T) {
+	orig, err := bmarks.Generate(bmarks.Spec{Name: "satp", Inputs: 12, Outputs: 6, Gates: 300, Seed: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: 16, Seed: 181})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3} {
+		res, err := SATAttackOpt(lk, orig, SATAttackOptions{MaxIter: 400, PortfolioWorkers: workers, Seed: uint64(workers)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("workers=%d: attack did not converge in %d iterations", workers, res.Iterations)
+		}
+		recovered, err := lk.ApplyKey(res.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := sim.Equivalent(orig, recovered, 16384, 182)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("workers=%d: recovered key is not functionally correct", workers)
+		}
+		perIter := float64(res.AddedClauses) / float64(max(res.Iterations, 1))
+		if base := float64(res.BaseClauses); perIter > base/4 {
+			t.Errorf("workers=%d: clause growth %.0f/iter exceeds base/4 (%.0f)", workers, perIter, base/4)
+		}
+		t.Logf("workers=%d: %d queries, %d solve calls, %.1f clauses/query",
+			workers, res.Iterations, res.SolveCalls, perIter)
+	}
+}
+
 // TestSATAttackBatchSizes: every batch size must recover a correct key;
 // batching only changes how many distinguishing inputs are mined per
 // bit-parallel oracle evaluation.

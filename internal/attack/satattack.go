@@ -57,6 +57,17 @@ type SATAttackOptions struct {
 	// round trips, which wins when the oracle is a physical chip rather
 	// than an in-process simulation.
 	BatchSize int
+	// PortfolioWorkers > 1 runs every per-query solve on a
+	// sat.Portfolio of that many diverging solver instances (first
+	// definitive answer wins and cancels the rest). The attack still
+	// recovers a functionally correct key — any model of the miter is
+	// a valid distinguishing input — but which inputs are mined, and
+	// therefore the exact query count and clause growth, depends on
+	// the race. 0 or 1 keeps the single deterministic solver.
+	PortfolioWorkers int
+	// Seed diversifies the portfolio members (unused without
+	// PortfolioWorkers > 1).
+	Seed uint64
 }
 
 // SATAttack runs the oracle-guided key-extraction attack of
@@ -98,7 +109,10 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		batch = 64
 	}
 	c := lk.Circuit
-	s := sat.New()
+	var s sat.Interface = sat.New()
+	if opt.PortfolioWorkers > 1 {
+		s = sat.NewPortfolio(sat.PortfolioOptions{Workers: opt.PortfolioWorkers, Seed: opt.Seed})
+	}
 
 	// One shared strashed graph: key TIE cells become leaves, so cones
 	// that do not reach a key leaf are key-independent by construction.
@@ -433,7 +447,7 @@ func (e *aigCof) cofactor(di []bool) {
 
 // emitLit returns the signed SAT literal of l, emitting its cofactor
 // cone first if needed. l's node must be key-dependent (val == -1).
-func (e *aigCof) emitLit(s *sat.Solver, kv []int, l aig.Lit) int {
+func (e *aigCof) emitLit(s sat.Interface, kv []int, l aig.Lit) int {
 	v := e.emit(s, kv, l.Node())
 	if l.IsCompl() {
 		return -v
@@ -441,7 +455,7 @@ func (e *aigCof) emitLit(s *sat.Solver, kv []int, l aig.Lit) int {
 	return v
 }
 
-func (e *aigCof) emit(s *sat.Solver, kv []int, n int) int {
+func (e *aigCof) emit(s sat.Interface, kv []int, n int) int {
 	if e.stamp[n] == e.cur {
 		return e.lit[n]
 	}
@@ -486,7 +500,7 @@ func (e *aigCof) emit(s *sat.Solver, kv []int, n int) int {
 // (see cofactor) for one key copy and forces the observables to the
 // oracle outputs obs (outputs then next-state bits, matching the
 // obs literal order).
-func (e *aigCof) constrain(s *sat.Solver, kv []int, obs []bool) error {
+func (e *aigCof) constrain(s sat.Interface, kv []int, obs []bool) error {
 	e.cur++
 	for i, ol := range e.obs {
 		if v := e.litVal(ol); v >= 0 {

@@ -67,6 +67,9 @@ type ITCOptions struct {
 	// the HD/OER runs (0 = GOMAXPROCS, 1 = serial). Results are
 	// bit-identical for every setting.
 	SimWorkers int
+	// SolverWorkers is passed to every job's flow.Config: LEC SAT
+	// queries race that many portfolio members (0/1 = single solver).
+	SolverWorkers int
 }
 
 func (o ITCOptions) withDefaults() ITCOptions {
@@ -155,10 +158,11 @@ func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error
 		return SplitResult{}, err
 	}
 	art, err := Run(orig, Config{
-		KeyBits:     opt.KeyBits,
-		SplitLayer:  splitLayer,
-		Seed:        opt.Seed + uint64(splitLayer)*1000,
-		UseATPGLock: true,
+		KeyBits:       opt.KeyBits,
+		SplitLayer:    splitLayer,
+		Seed:          opt.Seed + uint64(splitLayer)*1000,
+		UseATPGLock:   true,
+		SolverWorkers: opt.SolverWorkers,
 	})
 	if err != nil {
 		return SplitResult{}, err
@@ -217,6 +221,9 @@ type ISCASOptions struct {
 	// SimWorkers caps the per-job pattern-simulation worker pool
 	// (0 = GOMAXPROCS, 1 = serial).
 	SimWorkers int
+	// SolverWorkers is passed to every job's flow.Config (portfolio
+	// LEC; 0/1 = single solver).
+	SolverWorkers int
 }
 
 func (o ISCASOptions) withDefaults() ISCASOptions {
@@ -335,7 +342,8 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 	}
 	// Proposed: the full SplitLock flow; CCR reports the key-nets'
 	// physical CCR (Table III note).
-	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9, UseATPGLock: true})
+	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9,
+		UseATPGLock: true, SolverWorkers: opt.SolverWorkers})
 	if err != nil {
 		return row, err
 	}

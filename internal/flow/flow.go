@@ -55,6 +55,11 @@ type Config struct {
 	// Tseitin encoder instead of the strashed AND-inverter graph
 	// (benchmark baseline; the AIG path is the default).
 	LECLegacyEncoder bool
+	// SolverWorkers > 1 backs the Fig. 3 LEC step with a portfolio of
+	// that many diverging SAT solver instances (first definitive
+	// answer wins); the verdict is identical, only wall clock on hard
+	// miters changes. 0 or 1 keeps the single deterministic solver.
+	SolverWorkers int
 	// PlacePasses overrides placement improvement passes (0 = default).
 	PlacePasses int
 }
@@ -168,6 +173,7 @@ func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, e
 			Seed:              cfg.Seed,
 			PrefilterPatterns: cfg.LECPrefilterPatterns,
 			LegacyEncoder:     cfg.LECLegacyEncoder,
+			PortfolioWorkers:  cfg.SolverWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flow: LEC: %w", err)

@@ -50,7 +50,7 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 		pairs = append(pairs, pair{ma[a.Gate(fa).Fanin[0]], mb[b.Gate(fb).Fanin[0]]})
 	}
 
-	s := sat.New()
+	s := newMiterSolver(opt)
 	sw := newSweeper(g, s, bld, opt.Seed)
 	// Sweep only the cones of pairs that strashing did not already
 	// resolve: a fully collapsed miter (the common locked-vs-original
@@ -105,7 +105,7 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 // whose representatives substitute into all later CNF emission.
 type sweeper struct {
 	g   *aig.Graph
-	s   *sat.Solver
+	s   sat.Interface
 	em  *aig.Emitter
 	bld *aig.Builder
 	// repr[n] is the literal node n currently equals (repr[n].Node()==n
@@ -115,7 +115,7 @@ type sweeper struct {
 	merges int
 }
 
-func newSweeper(g *aig.Graph, s *sat.Solver, bld *aig.Builder, seed uint64) *sweeper {
+func newSweeper(g *aig.Graph, s sat.Interface, bld *aig.Builder, seed uint64) *sweeper {
 	sw := &sweeper{
 		g:    g,
 		s:    s,

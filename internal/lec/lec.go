@@ -73,6 +73,26 @@ type Options struct {
 	// graph, whose complement-canonical sweeping also merges
 	// XNOR-complement equivalences.
 	LegacyEncoder bool
+	// PortfolioWorkers > 1 backs the check with a sat.Portfolio of
+	// that many diverging solver instances: sweep probes and the
+	// miter queries race all members and the first definitive answer
+	// cancels the rest. The verdict is unchanged; only wall clock
+	// (and, for non-equivalent circuits, which counterexample is
+	// reported) depends on the setting. This pays on the hard miters
+	// that survive the zero-clause structural path — re-synthesized
+	// or wrong-key circuits — and is wasted mirroring work on miters
+	// that collapse structurally. 0 or 1 uses the single
+	// deterministic solver.
+	PortfolioWorkers int
+}
+
+// newMiterSolver returns the SAT backend for one check: the single
+// deterministic solver, or a portfolio seeded from the checker seed.
+func newMiterSolver(opt Options) sat.Interface {
+	if opt.PortfolioWorkers > 1 {
+		return sat.NewPortfolio(sat.PortfolioOptions{Workers: opt.PortfolioWorkers, Seed: opt.Seed})
+	}
+	return sat.New()
 }
 
 // Check decides whether circuits a and b are functionally equivalent.
@@ -98,7 +118,7 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 		return checkAIG(a, b, opt)
 	}
 
-	s := sat.New()
+	s := newMiterSolver(opt)
 	sigTable := make(map[uint64]int)
 	enc := NewEncoder(s)
 	enc.ShareStructure(sigTable)
@@ -235,7 +255,7 @@ func simSignatures(c *netlist.Circuit, wordFor func(string, int) uint64) ([][swe
 // re-converges onto a's encoding structurally (no further probes, no
 // clauses). Failed or over-budget probes are simply skipped — sweeping
 // only accelerates, it never decides.
-func installSweep(s *sat.Solver, enc *Encoder, a, b *netlist.Circuit, varsA VarMap, seed uint64) error {
+func installSweep(s sat.Interface, enc *Encoder, a, b *netlist.Circuit, varsA VarMap, seed uint64) error {
 	// Deterministic per-name stimulus so that identically-named inputs
 	// and flip-flops of both circuits see identical patterns.
 	nameIdx := make(map[string]int)
@@ -306,7 +326,7 @@ func installSweep(s *sat.Solver, enc *Encoder, a, b *netlist.Circuit, varsA VarM
 // Encoder Tseitin-encodes circuits into a shared SAT instance. It is
 // also used by the oracle-guided SAT attack demonstration.
 type Encoder struct {
-	s     *sat.Solver
+	s     sat.Interface
 	bound map[string]int // gate name -> pre-assigned variable
 	// sigs, when non-nil, maps gate signatures — the gate type hashed
 	// over its fanin SAT variables — to existing SAT variables: a gate
@@ -325,8 +345,9 @@ type Encoder struct {
 	merge func(id netlist.GateID, v int) int
 }
 
-// NewEncoder returns an encoder adding clauses to s.
-func NewEncoder(s *sat.Solver) *Encoder {
+// NewEncoder returns an encoder adding clauses to s (a single solver
+// or a portfolio).
+func NewEncoder(s sat.Interface) *Encoder {
 	return &Encoder{s: s}
 }
 
@@ -516,7 +537,7 @@ func (e *Encoder) encodeXorChain(v int, fanin []netlist.GateID, varOf func(netli
 // XorClauses adds the 4-clause Tseitin definition t ↔ a ⊕ b to s.
 // Literals may be negative. The encoder, the miter construction, and
 // the SAT attack's cofactor encoder all share this one definition.
-func XorClauses(s *sat.Solver, t, a, b int) {
+func XorClauses(s sat.Interface, t, a, b int) {
 	s.AddClause(-t, a, b)
 	s.AddClause(-t, -a, -b)
 	s.AddClause(t, -a, b)

@@ -130,6 +130,40 @@ func TestNonEquivalentDetected(t *testing.T) {
 	}
 }
 
+// TestPortfolioCheck runs the checker with portfolio backends over
+// both verdict directions: an equivalent restructured pair (UNSAT
+// miters) and a corrupted clone (SAT miter with a counterexample). The
+// verdicts must match the single-solver path for every worker count;
+// only which counterexample is found may differ.
+func TestPortfolioCheck(t *testing.T) {
+	a := mustParse(t, c17Src, "c17")
+	b := mustParse(t, c17DeMorgan, "c17dm")
+	bad := a.Clone()
+	bad.Gate(bad.GateByName("U13")).Type = netlist.And
+	for _, workers := range []int{2, 4} {
+		for _, legacy := range []bool{false, true} {
+			opt := Options{PrefilterPatterns: -1, PortfolioWorkers: workers, LegacyEncoder: legacy}
+			res, err := Check(a, b, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Equivalent {
+				t.Fatalf("workers=%d legacy=%v: equivalent pair rejected", workers, legacy)
+			}
+			res, err = Check(a, bad, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Equivalent {
+				t.Fatalf("workers=%d legacy=%v: corrupted clone reported equivalent", workers, legacy)
+			}
+			if res.Counterexample == nil {
+				t.Fatalf("workers=%d legacy=%v: SAT path must produce a counterexample", workers, legacy)
+			}
+		}
+	}
+}
+
 func TestPrefilterCatchesGrossDifference(t *testing.T) {
 	a := mustParse(t, c17Src, "c17")
 	b := a.Clone()

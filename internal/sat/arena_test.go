@@ -1,0 +1,118 @@
+package sat
+
+import "testing"
+
+// TestCompactRelocatesClauses white-boxes the arena: attach a mix of
+// binary/ternary/long clauses, tombstone some, compact, and check the
+// survivors' bodies and the instance's answers are intact.
+func TestCompactRelocatesClauses(t *testing.T) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.NewVar()
+	}
+	clauses := [][]int{
+		{1, 2}, {-1, 3, 4}, {2, -3, 5, -6}, {7, 8}, {-4, -5, 6, 7, -8}, {1, -7, 8},
+	}
+	refs := make([]cref, len(clauses))
+	for i, cl := range clauses {
+		lits := make([]uint32, len(cl))
+		for j, l := range cl {
+			lits[j] = intLit(l)
+		}
+		refs[i] = s.attachClause(lits, i%2 == 1, 3)
+	}
+	// Tombstone the two learnt clauses at index 1 and 3.
+	for _, i := range []int{1, 3} {
+		s.claMarkDeleted(refs[i])
+		s.numLearnt--
+	}
+	s.compact()
+	if s.Stats.Compactions != 1 {
+		t.Fatalf("compactions: %d", s.Stats.Compactions)
+	}
+	var got [][]int
+	s.forEachClause(func(c cref) {
+		var cl []int
+		for _, l := range s.claLits(c) {
+			v := int(litVar(l)) + 1
+			if litNeg(l) {
+				v = -v
+			}
+			cl = append(cl, v)
+		}
+		got = append(got, cl)
+	})
+	want := [][]int{{1, 2}, {2, -3, 5, -6}, {-4, -5, 6, 7, -8}, {1, -7, 8}}
+	if len(got) != len(want) {
+		t.Fatalf("surviving clauses: got %v want %v", got, want)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("clause %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+	// The compacted instance still propagates and solves correctly:
+	// force ¬2 so clause {1,2} implies 1, and {1,-7,8} stays watchable.
+	s.AddClause(-2)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("after compaction: %v", st)
+	}
+	if !s.Value(1) {
+		t.Fatal("1 must be implied by {1,2} ∧ ¬2")
+	}
+}
+
+// guardedPigeonhole adds PHP(pigeons, holes) with a guard literal g in
+// every clause: the instance is Unsat under assumption ¬g but remains
+// satisfiable overall, so a solver can be driven through tens of
+// thousands of conflicts (reduceDB, compaction) and then reused.
+func guardedPigeonhole(s *Solver, pigeons, holes int) (g int) {
+	g = s.NewVar()
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		s.AddClause(append([]int{g}, v[p]...)...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(g, -v[p1][h], -v[p2][h])
+			}
+		}
+	}
+	return g
+}
+
+// TestArenaCompactionUnderLoad drives the solver far enough that
+// reduceDB actually tombstones and compacts (PHP(9,8) needs >20k
+// conflicts against a ~10.6k learnt cap), then reuses the same solver
+// for a model search, which exercises reason/watch remapping across a
+// live trail.
+func TestArenaCompactionUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PHP(9,8) takes seconds under -race")
+	}
+	s := New()
+	g := guardedPigeonhole(s, 9, 8)
+	if st := s.Solve(-g); st != Unsat {
+		t.Fatalf("guarded PHP(9,8) under ¬g: %v", st)
+	}
+	if s.Stats.Reduced == 0 || s.Stats.Compactions == 0 {
+		t.Fatalf("expected reduceDB+compaction on PHP(9,8): %+v", s.Stats)
+	}
+	// The guard released, the instance is satisfiable; the post-
+	// compaction clause database must still produce a correct model.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("released guard: %v", st)
+	}
+	if !s.Value(g) {
+		t.Fatal("model must set the guard literal")
+	}
+}

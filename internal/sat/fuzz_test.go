@@ -1,0 +1,97 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// cnfFromBytes decodes fuzz input into a small CNF (and an interrupt
+// delay) so the whole instance stays brute-forceable: the first byte
+// sets the variable count (2..13) and the delay, each following pair of
+// bytes becomes one literal, and a zero byte ends the current clause.
+func cnfFromBytes(data []byte) (numVars int, cnf [][]int, delay time.Duration) {
+	if len(data) == 0 {
+		return 2, nil, 0
+	}
+	numVars = 2 + int(data[0]%12)
+	delay = time.Duration(data[0]>>4) * 5 * time.Microsecond
+	var cl []int
+	for i := 1; i+1 < len(data) && len(cnf) < 48; i += 2 {
+		if data[i] == 0 {
+			if len(cl) > 0 {
+				cnf = append(cnf, cl)
+				cl = nil
+			}
+			continue
+		}
+		v := 1 + int(data[i])%numVars
+		if data[i+1]&1 == 1 {
+			v = -v
+		}
+		cl = append(cl, v)
+		if len(cl) >= 5 {
+			cnf = append(cnf, cl)
+			cl = nil
+		}
+	}
+	if len(cl) > 0 {
+		cnf = append(cnf, cl)
+	}
+	return numVars, cnf, delay
+}
+
+// FuzzSolverInterrupt races Interrupt against a solve on a random small
+// instance and asserts the cancellation contract: no panics, the
+// interrupted status is one of {Sat, Unsat, Unknown} and consistent
+// with brute force when definitive, and an uninterrupted re-solve of
+// the same solver agrees exactly with brute force (including the
+// model). Run with `go test -fuzz FuzzSolverInterrupt ./internal/sat`.
+func FuzzSolverInterrupt(f *testing.F) {
+	f.Add([]byte{7, 1, 0, 2, 1, 0, 3, 0, 1, 1, 2, 0})
+	f.Add([]byte{0xff, 9, 1, 9, 0, 8, 1, 8, 0, 7, 1, 7, 0, 1, 0, 2, 0, 3, 0})
+	f.Add([]byte{0x35, 1, 0, 1, 1, 2, 0, 2, 1, 3, 0, 3, 1, 4, 0, 4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		numVars, cnf, delay := cnfFromBytes(data)
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		want := brute(numVars, cnf)
+
+		done := make(chan Status, 1)
+		go func() { done <- s.Solve() }()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		s.Interrupt()
+		st := <-done
+		switch st {
+		case Sat:
+			if !want {
+				t.Fatalf("interrupted solve returned Sat on UNSAT cnf %v", cnf)
+			}
+			verifyModel(t, s, cnf, 0)
+		case Unsat:
+			if want {
+				t.Fatalf("interrupted solve returned Unsat on SAT cnf %v", cnf)
+			}
+		case Unknown:
+			// Always admissible for an interrupted call.
+		default:
+			t.Fatalf("interrupted solve returned invalid status %d", int(st))
+		}
+
+		// The solver must be fully reusable after the interrupt: the
+		// uninterrupted re-solve decides exactly like a fresh solver.
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("re-solve after interrupt: solver=%v brute=%v cnf=%v", got, want, cnf)
+		}
+		if got == Sat {
+			verifyModel(t, s, cnf, 0)
+		}
+	})
+}

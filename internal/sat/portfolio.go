@@ -1,0 +1,193 @@
+package sat
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// PortfolioOptions configures NewPortfolio.
+type PortfolioOptions struct {
+	// Workers is the number of member solvers. 1 degenerates to a
+	// plain solver behind the Portfolio surface; <= 0 picks
+	// min(GOMAXPROCS, 4) — beyond a handful of members the marginal
+	// diversification rarely pays for the mirrored encoding work.
+	Workers int
+	// Seed diversifies the member decision streams; the same Seed
+	// builds the same member configurations on every run.
+	Seed uint64
+}
+
+// Portfolio runs one CNF instance on N solver members whose decision
+// seeds, initial polarities and restart schedules diverge (member 0 is
+// always the deterministic default configuration). NewVar and AddClause
+// mirror to every member, so the members stay equisatisfiable copies of
+// the same instance; Solve races them over the internal/engine worker
+// pool and the first definitive answer cancels the rest through a
+// shared stop flag (Options.Stop), which is exactly the cancellation
+// hook the CDCL loop checks each iteration.
+//
+// Statuses are exact: every member decides the same formula, so
+// whichever finishes first returns the unique Sat/Unsat answer. Which
+// *model* is found (and all Stats) depends on which member wins the
+// race, so multi-worker portfolios trade model reproducibility for wall
+// clock; with Workers == 1 the portfolio is bit-identical to a plain
+// solver. Portfolio is a sat.Interface and a drop-in replacement for a
+// Solver anywhere statuses, not specific models, carry the result.
+//
+// A Portfolio is not safe for concurrent use by multiple goroutines
+// (the members own their state); it parallelizes internally instead.
+type Portfolio struct {
+	members []*Solver
+	stop    *atomic.Bool
+	status  []Status // per-member result scratch for one solve round
+	winner  int      // member whose model Value reads
+}
+
+// NewPortfolio returns an empty portfolio of opt.Workers diverging
+// members.
+func NewPortfolio(opt PortfolioOptions) *Portfolio {
+	n := opt.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 4 {
+			n = 4
+		}
+	}
+	stop := new(atomic.Bool)
+	p := &Portfolio{
+		members: make([]*Solver, n),
+		stop:    stop,
+		status:  make([]Status, n),
+	}
+	for i := range p.members {
+		p.members[i] = NewWithOptions(memberOptions(i, opt.Seed, stop))
+	}
+	return p
+}
+
+// MemberOptions returns the configuration of portfolio member i for a
+// base seed, spread across the solver's divergence axes: member 0
+// keeps the deterministic default search, the others get distinct
+// non-zero decision seeds, alternating initial-polarity policies, and
+// rotating Luby restart units so their restart points interleave
+// instead of synchronizing. Exposed so benchmarks and tools can run a
+// member configuration solo and measure the portfolio's critical path.
+func MemberOptions(i int, seed uint64) Options {
+	return memberOptions(i, seed, nil)
+}
+
+func memberOptions(i int, seed uint64, stop *atomic.Bool) Options {
+	if i == 0 {
+		return Options{Stop: stop}
+	}
+	// splitmix64 of the member index: distinct, never zero after the |1.
+	x := seed + uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	opt := Options{Seed: x | 1, Stop: stop}
+	if i%2 == 0 {
+		opt.Polarity = PolarityRandom
+	}
+	lubyUnits := [...]int{64, 256, 32, 128}
+	opt.LubyUnit = lubyUnits[(i-1)%len(lubyUnits)]
+	return opt
+}
+
+// Workers returns the member count.
+func (p *Portfolio) Workers() int { return len(p.members) }
+
+// Winner returns the index of the member whose answer the last solve
+// returned (0 after an all-Unknown round).
+func (p *Portfolio) Winner() int { return p.winner }
+
+// NewVar allocates the same fresh variable in every member and returns
+// its (shared) 1-based index.
+func (p *Portfolio) NewVar() int {
+	v := p.members[0].NewVar()
+	for _, m := range p.members[1:] {
+		m.NewVar()
+	}
+	return v
+}
+
+// AddClause mirrors the clause to every member.
+func (p *Portfolio) AddClause(lits ...int) {
+	for _, m := range p.members {
+		m.AddClause(lits...)
+	}
+}
+
+// Solve races the members on the instance under the given assumptions;
+// the first definitive answer stops the others.
+func (p *Portfolio) Solve(assumptions ...int) Status {
+	return p.solve(-1, assumptions)
+}
+
+// SolveLimited is Solve with a per-member conflict budget; it returns
+// Unknown only when every member exhausted the budget (or was stopped).
+func (p *Portfolio) SolveLimited(budget int64, assumptions ...int) Status {
+	return p.solve(budget, assumptions)
+}
+
+func (p *Portfolio) solve(budget int64, assumptions []int) Status {
+	p.stop.Store(false) // discard any interrupt aimed at a previous round
+	if len(p.members) == 1 {
+		p.winner = 0
+		return p.members[0].solve(budget, assumptions)
+	}
+	var win atomic.Int32
+	win.Store(-1)
+	// One engine batch per member: the pool is sized to the member
+	// count, so every member searches concurrently until the stop flag
+	// (or its budget) ends the race.
+	engine.Run(len(p.members), engine.Options{Workers: len(p.members), Grain: 1},
+		func(worker int) int { return worker },
+		func(_ int, b engine.Batch) {
+			for i := b.Start; i < b.End; i++ {
+				if win.Load() >= 0 {
+					p.status[i] = Unknown
+					continue
+				}
+				st := p.members[i].solve(budget, assumptions)
+				p.status[i] = st
+				if st != Unknown && win.CompareAndSwap(-1, int32(i)) {
+					p.stop.Store(true)
+				}
+			}
+		})
+	if w := win.Load(); w >= 0 {
+		p.winner = int(w)
+		return p.status[w]
+	}
+	p.winner = 0
+	return Unknown
+}
+
+// Value reads variable v from the winning member's model.
+func (p *Portfolio) Value(v int) bool { return p.members[p.winner].Value(v) }
+
+// Interrupt asks an in-flight portfolio solve to stop by flipping the
+// shared stop flag every member checks in its conflict loop. Unlike
+// per-member Interrupt requests (which a member's solve entry would
+// discard if the interrupt won the race against the member starting),
+// the stop flag is never cleared by the members, so the request cannot
+// be lost mid-round; it is reset at the next portfolio solve's entry,
+// mirroring Solver.Interrupt's in-flight-only semantics.
+func (p *Portfolio) Interrupt() { p.stop.Store(true) }
+
+// NumVars reports the shared variable count (identical in all members).
+func (p *Portfolio) NumVars() int { return p.members[0].NumVars() }
+
+// NumClauses reports member 0's live clause count. Clause counts can
+// differ slightly across members (level-0 simplification during
+// AddClause depends on each member's learnt units), so the
+// deterministic baseline member is the stable one to report.
+func (p *Portfolio) NumClauses() int { return p.members[0].NumClauses() }
+
+// NumProblemClauses reports member 0's live problem clause count.
+func (p *Portfolio) NumProblemClauses() int { return p.members[0].NumProblemClauses() }

@@ -3,19 +3,27 @@
 // watch lists, VSIDS-style variable activity, first-UIP clause learning
 // with recursive learnt-clause minimization, LBD (glue) tracking with
 // activity+LBD-driven clause-database reduction, phase saving, and Luby
-// restarts. The solve loop runs on preallocated scratch buffers and is
-// allocation-free in steady state apart from the learnt clauses
-// themselves. It backs the logic equivalence checker (the paper's
-// Conformal LEC substitute) and the oracle-guided SAT-attack
-// demonstration.
+// restarts. Clause bodies live in one contiguous uint32 arena with
+// inline headers (see arena.go); clause references are arena offsets,
+// and reduceDB compacts the arena in place. The solve loop runs on
+// preallocated scratch buffers and is allocation-free in steady state
+// apart from the learnt clauses themselves. It backs the logic
+// equivalence checker (the paper's Conformal LEC substitute) and the
+// oracle-guided SAT-attack demonstration.
 //
 // The public API uses DIMACS conventions: variables are positive
 // integers allocated by NewVar, a literal is +v or -v. All operations
-// are deterministic: the same sequence of AddClause/Solve calls yields
-// the same statuses and models on every run.
+// are deterministic: the same sequence of AddClause/Solve calls on the
+// same Options yields the same statuses and models on every run.
+// Cooperative cancellation (Interrupt, Options.Stop) and the Portfolio
+// layer (portfolio.go) trade that model determinism for wall clock;
+// statuses remain exact.
 package sat
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Status is the result of a Solve call.
 type Status int
@@ -37,34 +45,67 @@ func (s Status) String() string {
 	return "UNKNOWN"
 }
 
-const noReason = -1
+const noReason cref = -1
 
-// lubyUnit scales the Luby restart sequence (conflicts per restart).
-const lubyUnit = 128
+// defaultLubyUnit scales the Luby restart sequence (conflicts per
+// restart); Options.LubyUnit overrides it per solver.
+const defaultLubyUnit = 128
 
-type clause struct {
-	lits    []uint32
-	act     float64
-	lbd     int32
-	learnt  bool
-	deleted bool
+// Polarity selects the decision-phase policy of a solver.
+type Polarity int
+
+const (
+	// PolaritySaved is the default: every variable starts with phase
+	// false and keeps the phase it last held (phase saving).
+	PolaritySaved Polarity = iota
+	// PolarityRandom draws each variable's initial phase from the
+	// solver's seeded stream; phase saving still applies afterwards.
+	// Requires Options.Seed != 0.
+	PolarityRandom
+)
+
+// Options tunes a solver instance. The zero value is the deterministic
+// default configuration used by New. Two solvers built with identical
+// Options and fed the identical NewVar/AddClause/Solve sequence produce
+// bit-identical runs — same statuses, same models, same Stats — which
+// is what lets portfolio members diverge reproducibly: divergence comes
+// only from explicitly different Seed/Polarity/LubyUnit values, never
+// from scheduling.
+type Options struct {
+	// Seed, when non-zero, enables the solver's xorshift decision
+	// stream: roughly 1 in 64 branching decisions picks a random
+	// variable instead of the activity maximum, and PolarityRandom
+	// draws initial phases from the same stream. Seed == 0 disables
+	// all randomness (the New default).
+	Seed uint64
+	// Polarity selects the initial decision phase policy.
+	Polarity Polarity
+	// LubyUnit is the conflicts-per-restart scale of the Luby sequence
+	// (0 = the default 128). Portfolio members use different units so
+	// their restart schedules interleave.
+	LubyUnit int
+	// Stop, when non-nil, is an external cancellation flag checked in
+	// the conflict loop alongside Interrupt. The solver never clears
+	// it, so one flag can stop a whole fleet of solvers; the Portfolio
+	// owns such a flag to cancel losers once a member finds an answer.
+	Stop *atomic.Bool
 }
 
-// watcher is one entry of a long-clause (≥3 literals) watch list. The
+// watcher is one entry of a long-clause (≥4 literals) watch list. The
 // blocker is some other literal of the clause: when it is already true
 // the clause is satisfied and the clause body is never dereferenced,
 // which skips the cache miss that dominates propagation cost.
 type watcher struct {
-	ci      int32
+	c       cref
 	blocker uint32
 }
 
 // binWatcher is one entry of a binary-clause watch list: when the
 // watched literal is falsified, other is immediately unit (or the
-// clause ci is conflicting). Binary clauses never move their watches.
+// clause c is conflicting). Binary clauses never move their watches.
 type binWatcher struct {
 	other uint32
-	ci    int32
+	c     cref
 }
 
 // triWatcher is one entry of a ternary-clause watch list. All three
@@ -73,13 +114,13 @@ type binWatcher struct {
 // dereferences the clause body and never moves a watch.
 type triWatcher struct {
 	a, b uint32
-	ci   int32
+	c    cref
 }
 
 // Solver holds one CNF instance. The zero value is not usable; call
-// New.
+// New or NewWithOptions.
 type Solver struct {
-	clauses []clause
+	arena   []uint32       // clause arena: inline headers + literals (arena.go)
 	watches [][]watcher    // literal -> watchers of clauses with ≥4 lits
 	binW    [][]binWatcher // literal -> binary watch list
 	triW    [][]triWatcher // literal -> ternary watch list
@@ -87,7 +128,7 @@ type Solver struct {
 	assignLit []int8 // literal -> -1 unassigned / 0 false / 1 true
 	assign    []int8 // var -> -1 unassigned / 0 false / 1 true
 	level     []int32
-	reason    []int32
+	reason    []cref
 	polarity  []int8 // saved phase
 	activity  []float64
 	varInc    float64
@@ -105,6 +146,12 @@ type Solver struct {
 
 	unsat bool // empty clause encountered during AddClause
 
+	opts     Options
+	rng      uint64 // xorshift state; 0 = randomness disabled
+	lubyUnit int64
+	intr     atomic.Bool  // Interrupt() request, consumed by solve
+	stop     *atomic.Bool // external cancellation (Options.Stop)
+
 	// Preallocated scratch (reused across calls, never shrunk).
 	seen      []byte   // var -> conflict-analysis mark
 	toClear   []int32  // vars whose seen mark must be reset
@@ -114,7 +161,7 @@ type Solver struct {
 	addBuf    []uint32 // AddClause literal buffer
 	lbdStamp  []uint32 // level -> stamp for LBD counting
 	lbdTick   uint32
-	reduceBuf []int32 // candidate list for reduceDB
+	reduceBuf []cref // candidate list for reduceDB
 
 	// Stats counts solver work for reporting.
 	Stats struct {
@@ -125,12 +172,56 @@ type Solver struct {
 		Restarts     int64
 		Minimized    int64 // literals removed by learnt-clause minimization
 		Reduced      int64 // learnt clauses deleted by reduceDB
+		Compactions  int64 // arena compactions (one per effective reduceDB)
 	}
 }
 
-// New returns an empty solver.
+// New returns an empty solver with the deterministic default Options.
 func New() *Solver {
-	return &Solver{varInc: 1.0, claInc: 1.0}
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns an empty solver with the given configuration.
+func NewWithOptions(opt Options) *Solver {
+	unit := int64(opt.LubyUnit)
+	if unit <= 0 {
+		unit = defaultLubyUnit
+	}
+	return &Solver{
+		varInc:   1.0,
+		claInc:   1.0,
+		opts:     opt,
+		rng:      opt.Seed,
+		lubyUnit: unit,
+		stop:     opt.Stop,
+	}
+}
+
+// nextRand advances the solver's xorshift64 stream. Only called when
+// rng != 0, and the state never becomes 0.
+func (s *Solver) nextRand() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}
+
+// Interrupt asks an in-flight Solve or SolveLimited call to return
+// Unknown at its next conflict-loop check, leaving the solver at
+// decision level zero with all clauses (including learnt ones) intact,
+// so it can be re-solved and will then answer exactly like a fresh
+// solver on the same instance. It is safe to call from any goroutine.
+// The request is consumed when the solve returns; a request that lands
+// while no solve is running is discarded at the next solve's entry.
+// For race-free fleet cancellation use Options.Stop, which the solver
+// checks but never clears.
+func (s *Solver) Interrupt() { s.intr.Store(true) }
+
+// interrupted reports whether this solve must stop now.
+func (s *Solver) interrupted() bool {
+	return s.intr.Load() || (s.stop != nil && s.stop.Load())
 }
 
 // NumVars returns the number of allocated variables.
@@ -148,11 +239,15 @@ func (s *Solver) NumProblemClauses() int { return s.numProblem }
 // NewVar allocates a fresh variable and returns its positive index
 // (1-based).
 func (s *Solver) NewVar() int {
+	phase := int8(0)
+	if s.opts.Polarity == PolarityRandom && s.rng != 0 {
+		phase = int8(s.nextRand() >> 63)
+	}
 	s.assign = append(s.assign, -1)
 	s.assignLit = append(s.assignLit, -1, -1)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, noReason)
-	s.polarity = append(s.polarity, 0)
+	s.polarity = append(s.polarity, phase)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.addMark = append(s.addMark, 0)
@@ -246,119 +341,97 @@ func (s *Solver) AddClause(lits ...int) {
 			s.unsat = true
 		}
 	default:
-		lcopy := make([]uint32, len(out))
-		copy(lcopy, out)
-		s.attachClause(lcopy, false, 0)
+		s.attachClause(out, false, 0)
 	}
 }
 
-func (s *Solver) attachClause(lits []uint32, learnt bool, lbd int32) int32 {
-	ci := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt, lbd: lbd})
-	switch len(lits) {
-	case 2:
-		s.binW[lits[0]^1] = append(s.binW[lits[0]^1], binWatcher{other: lits[1], ci: ci})
-		s.binW[lits[1]^1] = append(s.binW[lits[1]^1], binWatcher{other: lits[0], ci: ci})
-	case 3:
-		s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], ci: ci})
-		s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], ci: ci})
-		s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], ci: ci})
-	default:
-		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{ci: ci, blocker: lits[1]})
-		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: ci, blocker: lits[0]})
-	}
+// attachClause copies lits into the arena and installs the watches.
+func (s *Solver) attachClause(lits []uint32, learnt bool, lbd int32) cref {
+	c := s.allocClause(lits, learnt, lbd)
+	s.watchClause(c, s.claLits(c))
 	if learnt {
 		s.numLearnt++
 	} else {
 		s.numProblem++
 	}
-	return ci
+	return c
+}
+
+// watchClause installs the watch-list entries for clause c. Positions
+// 0 and 1 are watched for long clauses; binary and ternary clauses
+// watch every literal.
+func (s *Solver) watchClause(c cref, lits []uint32) {
+	switch len(lits) {
+	case 2:
+		s.binW[lits[0]^1] = append(s.binW[lits[0]^1], binWatcher{other: lits[1], c: c})
+		s.binW[lits[1]^1] = append(s.binW[lits[1]^1], binWatcher{other: lits[0], c: c})
+	case 3:
+		s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], c: c})
+		s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], c: c})
+		s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], c: c})
+	default:
+		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{c: c, blocker: lits[1]})
+		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{c: c, blocker: lits[0]})
+	}
 }
 
 // locked reports whether the clause is currently the reason of an
 // assignment and must not be deleted. Long clauses always assert
 // lits[0]; ternary propagation does not normalize literal order, so
 // every literal of a 3-clause is checked.
-func (s *Solver) locked(ci int32) bool {
-	c := &s.clauses[ci]
-	if len(c.lits) == 3 {
-		for _, l := range c.lits {
-			if s.reason[litVar(l)] == ci && s.assignLit[l] == 1 {
+func (s *Solver) locked(c cref) bool {
+	lits := s.claLits(c)
+	if len(lits) == 3 {
+		for _, l := range lits {
+			if s.reason[litVar(l)] == c && s.assignLit[l] == 1 {
 				return true
 			}
 		}
 		return false
 	}
-	v := litVar(c.lits[0])
-	return s.reason[v] == ci && s.assignLit[c.lits[0]] == 1
+	v := litVar(lits[0])
+	return s.reason[v] == c && s.assignLit[lits[0]] == 1
 }
 
 // reduceDB deletes roughly half of the learnt clauses when the learnt
-// database outgrows the problem clauses. Victims are picked by glue
-// first (higher LBD goes first) and clause activity second (colder
-// clauses go first); binary clauses, glue clauses (LBD ≤ 2) and
-// clauses that are the reason of a current assignment are kept.
-// Deleted slots stay in place; the long-clause watch lists are rebuilt
-// so propagation never sees a dead clause.
+// database outgrows the problem clauses, then compacts the arena in
+// place (see compact). Victims are picked by glue first (higher LBD
+// goes first) and clause activity second (colder clauses go first);
+// binary clauses, glue clauses (LBD ≤ 2) and clauses that are the
+// reason of a current assignment are kept.
 func (s *Solver) reduceDB() {
 	limit := 2*s.numProblem + 10000
 	if s.numLearnt <= limit {
 		return
 	}
 	cand := s.reduceBuf[:0]
-	for ci := range s.clauses {
-		c := &s.clauses[ci]
-		if c.learnt && !c.deleted && len(c.lits) > 2 && c.lbd > 2 && !s.locked(int32(ci)) {
-			cand = append(cand, int32(ci))
+	s.forEachClause(func(c cref) {
+		if s.claLearnt(c) && s.claSize(c) > 2 && s.claLBD(c) > 2 && !s.locked(c) {
+			cand = append(cand, c)
 		}
-	}
-	sort.Slice(cand, func(i, j int) bool {
-		a, b := &s.clauses[cand[i]], &s.clauses[cand[j]]
-		if a.lbd != b.lbd {
-			return a.lbd > b.lbd
-		}
-		if a.act != b.act {
-			return a.act < b.act
-		}
-		return cand[i] < cand[j] // deterministic tie-break
 	})
-	for _, ci := range cand[:len(cand)/2] {
-		c := &s.clauses[ci]
-		c.deleted = true
-		c.lits = nil
+	sort.Slice(cand, func(i, j int) bool {
+		a, b := cand[i], cand[j]
+		if la, lb := s.claLBD(a), s.claLBD(b); la != lb {
+			return la > lb
+		}
+		if aa, ab := s.claAct(a), s.claAct(b); aa != ab {
+			return aa < ab
+		}
+		return a < b // deterministic tie-break
+	})
+	for _, c := range cand[:len(cand)/2] {
+		s.claMarkDeleted(c)
 		s.numLearnt--
 		s.Stats.Reduced++
 	}
 	s.reduceBuf = cand[:0]
-	// Rebuild the ternary and long-clause watch lists (binary watches
-	// are never deleted and stay put). Watch positions 0 and 1 were
-	// valid before the rebuild, so re-watching the same positions is
-	// sound at any decision level; ternary clauses watch all three
-	// literals.
-	for i := range s.watches {
-		s.watches[i] = s.watches[i][:0]
-		s.triW[i] = s.triW[i][:0]
-	}
-	for ci := range s.clauses {
-		c := &s.clauses[ci]
-		if c.deleted || len(c.lits) <= 2 {
-			continue
-		}
-		lits := c.lits
-		if len(lits) == 3 {
-			s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], ci: int32(ci)})
-			s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], ci: int32(ci)})
-			s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], ci: int32(ci)})
-			continue
-		}
-		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{ci: int32(ci), blocker: lits[1]})
-		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: int32(ci), blocker: lits[0]})
-	}
+	s.compact()
 }
 
 // enqueue assigns literal l true with the given reason clause.
 // It returns false on conflict with an existing assignment.
-func (s *Solver) enqueue(l uint32, from int32) bool {
+func (s *Solver) enqueue(l uint32, from cref) bool {
 	switch s.value(l) {
 	case 1:
 		return true
@@ -379,9 +452,9 @@ func (s *Solver) enqueue(l uint32, from int32) bool {
 	return true
 }
 
-// propagate performs unit propagation; it returns the index of a
-// conflicting clause or -1.
-func (s *Solver) propagate() int32 {
+// propagate performs unit propagation; it returns the arena reference
+// of a conflicting clause or -1.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
@@ -391,9 +464,9 @@ func (s *Solver) propagate() int32 {
 			switch s.assignLit[bw.other] {
 			case 0:
 				s.qhead = len(s.trail)
-				return bw.ci
+				return bw.c
 			case -1:
-				s.enqueue(bw.other, bw.ci)
+				s.enqueue(bw.other, bw.c)
 			}
 		}
 		// Ternary clauses: the watcher carries the other two literals,
@@ -411,11 +484,11 @@ func (s *Solver) propagate() int32 {
 			if va == 0 {
 				if vb == 0 {
 					s.qhead = len(s.trail)
-					return tw.ci
+					return tw.c
 				}
-				s.enqueue(tw.b, tw.ci)
+				s.enqueue(tw.b, tw.c)
 			} else if vb == 0 {
-				s.enqueue(tw.a, tw.ci)
+				s.enqueue(tw.a, tw.c)
 			}
 		}
 		ws := s.watches[p]
@@ -429,15 +502,14 @@ func (s *Solver) propagate() int32 {
 				j++
 				continue
 			}
-			c := &s.clauses[w.ci]
-			lits := c.lits
+			lits := s.claLits(w.c)
 			// Normalize so that lits[1] is the falsified watch ¬p.
 			if lits[0]^1 == p {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			first := lits[0]
 			if first != w.blocker && s.value(first) == 1 {
-				ws[j] = watcher{ci: w.ci, blocker: first}
+				ws[j] = watcher{c: w.c, blocker: first}
 				j++
 				continue
 			}
@@ -446,7 +518,7 @@ func (s *Solver) propagate() int32 {
 			for k := 2; k < len(lits); k++ {
 				if s.value(lits[k]) != 0 {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{ci: w.ci, blocker: first})
+					s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{c: w.c, blocker: first})
 					found = true
 					break
 				}
@@ -455,9 +527,9 @@ func (s *Solver) propagate() int32 {
 				continue // watch moved; drop from this list
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{ci: w.ci, blocker: first}
+			ws[j] = watcher{c: w.c, blocker: first}
 			j++
-			if !s.enqueue(first, w.ci) {
+			if !s.enqueue(first, w.c) {
 				// Conflict: keep remaining watches and report.
 				for i++; i < len(ws); i++ {
 					ws[j] = ws[i]
@@ -465,7 +537,7 @@ func (s *Solver) propagate() int32 {
 				}
 				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return w.ci
+				return w.c
 			}
 		}
 		s.watches[p] = ws[:j]
@@ -505,7 +577,7 @@ func (s *Solver) cancelUntil(lvl int) {
 // recursively, and returns the clause (backed by internal scratch — the
 // caller must copy it before the next analyze), the backtrack level,
 // and its LBD.
-func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int, lbd int32) {
+func (s *Solver) analyze(confl cref) (learnt []uint32, backLvl int, lbd int32) {
 	learnt = s.learntBuf[:0]
 	learnt = append(learnt, 0) // slot for the asserting literal
 	seen := s.seen
@@ -514,11 +586,10 @@ func (s *Solver) analyze(confl int32) (learnt []uint32, backLvl int, lbd int32) 
 	pSet := false
 	idx := len(s.trail) - 1
 	for {
-		c := &s.clauses[confl]
-		if c.learnt {
+		if s.claLearnt(confl) {
 			s.bumpClause(confl)
 		}
-		for _, q := range c.lits {
+		for _, q := range s.claLits(confl) {
 			if pSet && q == p {
 				continue
 			}
@@ -619,8 +690,7 @@ func (s *Solver) litRedundant(v int32, abstract uint32) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		c := &s.clauses[s.reason[u]]
-		for _, q := range c.lits {
+		for _, q := range s.claLits(s.reason[u]) {
 			qv := litVar(q)
 			if qv == u || s.seen[qv] != 0 || s.level[qv] == 0 {
 				continue
@@ -653,17 +723,6 @@ func (s *Solver) bumpVar(v int32) {
 	}
 	if s.heapPos[v] >= 0 {
 		s.heapUp(s.heapPos[v])
-	}
-}
-
-func (s *Solver) bumpClause(ci int32) {
-	c := &s.clauses[ci]
-	c.act += s.claInc
-	if c.act > 1e20 {
-		for i := range s.clauses {
-			s.clauses[i].act *= 1e-20
-		}
-		s.claInc *= 1e-20
 	}
 }
 
@@ -700,20 +759,23 @@ func luby(i int64) int64 {
 
 // Solve runs the CDCL loop under the given DIMACS assumption literals.
 // Assumptions are applied as temporary decisions below the search; the
-// instance itself is unchanged afterwards. Results are deterministic.
+// instance itself is unchanged afterwards. Results are deterministic
+// for a given Options configuration unless the call is interrupted.
 func (s *Solver) Solve(assumptions ...int) Status {
 	return s.solve(-1, assumptions)
 }
 
 // SolveLimited is Solve with a conflict budget: it returns Unknown when
-// the budget is exhausted before a result is reached (the instance and
-// learnt clauses are kept). SAT sweeping uses it for bounded-effort
-// equivalence probes; budget < 0 means unlimited.
+// the budget is exhausted (or the call is interrupted) before a result
+// is reached; the instance and learnt clauses are kept either way. SAT
+// sweeping uses it for bounded-effort equivalence probes; budget < 0
+// means unlimited.
 func (s *Solver) SolveLimited(budget int64, assumptions ...int) Status {
 	return s.solve(budget, assumptions)
 }
 
 func (s *Solver) solve(budget int64, assumptions []int) Status {
+	s.intr.Store(false) // discard any interrupt aimed at a previous call
 	if s.unsat {
 		return Unsat
 	}
@@ -742,10 +804,18 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 	rootLevel := s.decisionLevel()
 
 	var restarts int64
-	conflictLimit := lubyUnit * luby(0)
+	conflictLimit := s.lubyUnit * luby(0)
 	conflicts := int64(0)
 	total := int64(0)
 	for {
+		// Cooperative cancellation: one flag load per loop iteration
+		// (conflict or decision), consumed on exit so the solver stays
+		// reusable.
+		if s.interrupted() {
+			s.intr.Store(false)
+			s.cancelUntil(0)
+			return Unknown
+		}
 		conf := s.propagate()
 		if conf >= 0 {
 			s.Stats.Conflicts++
@@ -773,14 +843,15 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 					return Unsat
 				}
 			} else {
-				lcopy := make([]uint32, len(learnt))
-				copy(lcopy, learnt)
-				ci := s.attachClause(lcopy, true, lbd)
+				c := s.attachClause(learnt, true, lbd)
 				s.Stats.Learnt++
-				s.enqueue(learnt[0], ci)
+				s.enqueue(learnt[0], c)
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
+			if s.claInc > 1e20 {
+				s.rescaleClauseActivity()
+			}
 			continue
 		}
 		if conflicts >= conflictLimit {
@@ -788,13 +859,23 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 			// outgrown its budget.
 			conflicts = 0
 			restarts++
-			conflictLimit = lubyUnit * luby(restarts)
+			conflictLimit = s.lubyUnit * luby(restarts)
 			s.Stats.Restarts++
 			s.cancelUntil(rootLevel)
 			s.reduceDB()
 			continue
 		}
-		v := s.pickBranch()
+		v := int32(-1)
+		if s.rng != 0 && len(s.heap) > 0 && s.nextRand()%64 == 0 {
+			// Seeded random decision (~1/64): pick any heap entry; fall
+			// through to the activity maximum if it is already assigned.
+			if cand := s.heap[s.nextRand()%uint64(len(s.heap))]; s.assign[cand] < 0 {
+				v = cand
+			}
+		}
+		if v < 0 {
+			v = s.pickBranch()
+		}
 		if v < 0 {
 			// All variables assigned: model found (not a decision).
 			return Sat
