@@ -10,7 +10,6 @@
 package repro
 
 import (
-	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -467,10 +466,13 @@ func loadWrongKeyPair(b *testing.B) (orig, wc *netlist.Circuit) {
 	return orig, wc
 }
 
-// encodeWrongKeyMiter Tseitin-encodes the raw (unswept) miter between
-// the pair into s, directly over their shared strashed AIG: output and
+// encodeRawMiter Tseitin-encodes the raw (unswept) miter between the
+// pair into s, directly over their shared strashed AIG: output and
 // next-state pairs are XORed and at least one difference is asserted.
-func encodeWrongKeyMiter(b *testing.B, s sat.Interface, orig, wc *netlist.Circuit) {
+// With a wrong-key circuit the miter is SAT (the model is a
+// distinguishing input); with the correct key it is UNSAT — the raw
+// equivalence proof the LEC sweeper normally short-circuits.
+func encodeRawMiter(b *testing.B, s sat.Interface, orig, wc *netlist.Circuit) {
 	b.Helper()
 	bld := aig.NewBuilder()
 	ma, err := bld.Add(orig)
@@ -510,7 +512,7 @@ func encodeWrongKeyMiter(b *testing.B, s sat.Interface, orig, wc *netlist.Circui
 		diffs = append(diffs, d)
 	}
 	if len(diffs) == 0 {
-		b.Fatal("wrong-key miter collapsed structurally; re-tune the flipped bit")
+		b.Fatal("miter collapsed structurally; re-tune the benchmark configuration")
 	}
 	s.AddClause(diffs...)
 }
@@ -519,13 +521,21 @@ func encodeWrongKeyMiter(b *testing.B, s sat.Interface, orig, wc *netlist.Circui
 // BenchmarkPortfolioMiter. The deterministic member 0 needs ~7.4k
 // conflicts on this needle; under this base seed a diverged member
 // finds the sparse distinguishing input ~20x faster, which is what
-// makes the racing portfolio win wall clock even time-sliced on a
-// single core.
+// makes the pure-diversification race (the noshare variant) win wall
+// clock even time-sliced on a single core. With clause sharing on,
+// imports at restart boundaries perturb that lucky trajectory — the
+// sharing variant shows the cost of cooperation on a SAT needle, the
+// mirror image of its UNSAT payoff in BenchmarkPortfolioUNSAT.
 const portfolioMiterSeed = 7
 
 // BenchmarkPortfolioMiter measures portfolio-vs-single solving on the
 // hard wrong-key b14 miter (see loadWrongKeyPair): mirrored encoding
-// and the race are both inside the timed region. The members=4 variant
+// and the race are both inside the timed region. The noshare variants
+// preserve the PR 4 pure-diversification race (the lucky diverged
+// member wins in ~350 conflicts); the sharing variant documents that
+// cooperation can disturb exactly that luck on a SAT needle — the
+// UNSAT side, where sharing pays, is BenchmarkPortfolioUNSAT — and is
+// additionally scheduler-dependent on one core. The members=4 variant
 // additionally solves each diverged member configuration solo and
 // reports the fastest (minSoloMs) — the critical path a multi-core
 // host's wall clock approaches — next to the deterministic member's
@@ -536,22 +546,30 @@ func BenchmarkPortfolioMiter(b *testing.B) {
 	b.Run("single", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s := sat.New()
-			encodeWrongKeyMiter(b, s, orig, wc)
+			encodeRawMiter(b, s, orig, wc)
 			if st := s.Solve(); st != sat.Sat {
 				b.Fatalf("wrong-key miter must be SAT, got %v", st)
 			}
 			b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
 		}
 	})
-	for _, workers := range []int{2, 4} {
-		b.Run(fmt.Sprintf("portfolio=%d", workers), func(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opt  sat.PortfolioOptions
+	}{
+		{"portfolio=2", sat.PortfolioOptions{Workers: 2, Seed: portfolioMiterSeed}},
+		{"portfolio=2/noshare", sat.PortfolioOptions{Workers: 2, Seed: portfolioMiterSeed, NoShare: true}},
+		{"portfolio=4/noshare", sat.PortfolioOptions{Workers: 4, Seed: portfolioMiterSeed, NoShare: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				p := sat.NewPortfolio(sat.PortfolioOptions{Workers: workers, Seed: portfolioMiterSeed})
-				encodeWrongKeyMiter(b, p, orig, wc)
+				p := sat.NewPortfolio(tc.opt)
+				encodeRawMiter(b, p, orig, wc)
 				if st := p.Solve(); st != sat.Sat {
 					b.Fatalf("wrong-key miter must be SAT, got %v", st)
 				}
 				b.ReportMetric(float64(p.Winner()), "winner")
+				b.ReportMetric(float64(p.Stats().Conflicts), "conflictsSum")
 			}
 		})
 	}
@@ -560,7 +578,7 @@ func BenchmarkPortfolioMiter(b *testing.B) {
 			minSolo, member0 := math.MaxFloat64, 0.0
 			for m := 0; m < 4; m++ {
 				s := sat.NewWithOptions(sat.MemberOptions(m, portfolioMiterSeed))
-				encodeWrongKeyMiter(b, s, orig, wc)
+				encodeRawMiter(b, s, orig, wc)
 				t0 := time.Now()
 				if st := s.Solve(); st != sat.Sat {
 					b.Fatalf("member %d: wrong-key miter must be SAT, got %v", m, st)
@@ -578,6 +596,74 @@ func BenchmarkPortfolioMiter(b *testing.B) {
 			b.ReportMetric(member0/minSolo, "speedupAvailable")
 		}
 	})
+}
+
+// loadCorrectKeyPair returns the original 0.1-scale b14 and its
+// ATPG-locked variant under the correct key: functionally equivalent,
+// structurally different (the lock removes cones and adds the restore
+// unit), so the raw miter is a real UNSAT instance — ~13k conflicts
+// for the deterministic solver — of exactly the shape every correct-key
+// LEC proof and every SAT-attack convergence check bottoms out in.
+func loadCorrectKeyPair(b *testing.B) (orig, kc *netlist.Circuit) {
+	b.Helper()
+	orig, err := bmarks.Load("b14", benchSATScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, _, err := locking.ATPGLock(orig, locking.ATPGLockOptions{KeyBits: benchKeyBits, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kc, err = lk.ApplyKey(lk.Key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return orig, kc
+}
+
+// BenchmarkPortfolioUNSAT measures the portfolio on the UNSAT side —
+// the case PR 4's racing portfolio lost, because every member had to
+// rediscover the full refutation. The correct-key b14 miter is raced
+// single vs 2-member portfolio with clause sharing on and off
+// (noshare), plus the deterministic time-sliced schedule; the sharing
+// variants report the exported/imported clause counts and the summed
+// member conflicts, so the BENCH json shows whether cooperation
+// actually shortened the proof.
+func BenchmarkPortfolioUNSAT(b *testing.B) {
+	orig, kc := loadCorrectKeyPair(b)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.New()
+			encodeRawMiter(b, s, orig, kc)
+			if st := s.Solve(); st != sat.Unsat {
+				b.Fatalf("correct-key miter must be UNSAT, got %v", st)
+			}
+			b.ReportMetric(float64(s.Stats.Conflicts), "conflicts")
+		}
+	})
+	for _, tc := range []struct {
+		name string
+		opt  sat.PortfolioOptions
+	}{
+		{"portfolio=2", sat.PortfolioOptions{Workers: 2, Seed: portfolioMiterSeed}},
+		{"portfolio=2/noshare", sat.PortfolioOptions{Workers: 2, Seed: portfolioMiterSeed, NoShare: true}},
+		{"deterministic=2", sat.PortfolioOptions{Workers: 2, Seed: portfolioMiterSeed, Deterministic: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := sat.NewPortfolio(tc.opt)
+				encodeRawMiter(b, p, orig, kc)
+				if st := p.Solve(); st != sat.Unsat {
+					b.Fatalf("correct-key miter must be UNSAT, got %v", st)
+				}
+				agg := p.Stats()
+				b.ReportMetric(float64(agg.Conflicts), "conflictsSum")
+				b.ReportMetric(float64(agg.Exported), "exported")
+				b.ReportMetric(float64(agg.Imported), "imported")
+				b.ReportMetric(float64(p.Winner()), "winner")
+			}
+		})
+	}
 }
 
 // BenchmarkFlowRuntime measures the end-to-end secure flow wall time

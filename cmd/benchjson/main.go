@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-bench regexp] [-benchtime 1x] [-pkg .] [-out dir] [-note text]
+//	go run ./cmd/benchjson [-bench regexp] [-benchtime 1x] [-pkg .] [-out dir] [-note text] [-short] [-guard name:metric=value]...
 //
 // The default pattern covers the paper-table benchmarks and the SAT
-// solver / LEC / SAT-attack benchmarks.
+// solver / LEC / SAT-attack benchmarks. -short restricts the run to
+// the fast solver-core benchmarks (the CI perf smoke), and -guard
+// asserts that a custom metric of a named benchmark has an exact
+// value — CI uses it to pin the pigeonhole conflict count, which must
+// not move unless the solver's search itself changes (layout and
+// allocator refactors are required to be search-identical).
 package main
 
 import (
@@ -21,6 +26,56 @@ import (
 	"strconv"
 	"strings"
 )
+
+// guard is one -guard assertion: the named benchmark's metric must
+// equal value exactly.
+type guard struct {
+	name   string
+	metric string
+	value  float64
+}
+
+// parseGuard parses "name:metric=value".
+func parseGuard(s string) (guard, error) {
+	colon := strings.LastIndex(s, ":")
+	eq := strings.LastIndex(s, "=")
+	if colon < 0 || eq < colon {
+		return guard{}, fmt.Errorf("guard %q: want name:metric=value", s)
+	}
+	v, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil {
+		return guard{}, fmt.Errorf("guard %q: bad value: %v", s, err)
+	}
+	return guard{name: s[:colon], metric: s[colon+1 : eq], value: v}, nil
+}
+
+// checkGuards returns an error listing every violated or unmatched
+// guard.
+func checkGuards(guards []guard, results []Result) error {
+	var bad []string
+	for _, g := range guards {
+		found := false
+		for _, r := range results {
+			// Result names carry the -GOMAXPROCS suffix.
+			if r.Name != g.name && !strings.HasPrefix(r.Name, g.name+"-") {
+				continue
+			}
+			found = true
+			if got, ok := r.Metrics[g.metric]; !ok {
+				bad = append(bad, fmt.Sprintf("%s: metric %q missing", r.Name, g.metric))
+			} else if got != g.value {
+				bad = append(bad, fmt.Sprintf("%s: %s = %v, want %v", r.Name, g.metric, got, g.value))
+			}
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("guard %s:%s=%v matched no benchmark", g.name, g.metric, g.value))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%s", strings.Join(bad, "; "))
+	}
+	return nil
+}
 
 // Result is the JSON shape of one benchmark result.
 type Result struct {
@@ -39,14 +94,36 @@ type Result struct {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkTable|BenchmarkFig5|BenchmarkSATSolver|BenchmarkLEC|BenchmarkSATAttack|BenchmarkAIGMiter|BenchmarkPortfolioMiter", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkTable|BenchmarkFig5|BenchmarkSATSolver|BenchmarkLEC|BenchmarkSATAttack|BenchmarkAIGMiter|BenchmarkPortfolioMiter|BenchmarkPortfolioUNSAT", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", ".", "directory for BENCH_<n>.json files")
 	note := flag.String("note", "", "free-form note recorded in every result")
+	short := flag.Bool("short", false, "run only the fast solver-core benchmarks (overrides -bench unless -bench was set explicitly)")
+	var guards []guard
+	flag.Func("guard", "assert a metric value, as name:metric=value (repeatable); exits non-zero on mismatch", func(s string) error {
+		g, err := parseGuard(s)
+		if err != nil {
+			return err
+		}
+		guards = append(guards, g)
+		return nil
+	})
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	pattern := *bench
+	if *short {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			pattern = "BenchmarkSATSolver"
+		}
+	}
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern, "-benchtime", *benchtime, *pkg)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
@@ -60,6 +137,10 @@ func main() {
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := checkGuards(guards, results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: guard violated: %v\n", err)
 		os.Exit(1)
 	}
 	for i, r := range results {

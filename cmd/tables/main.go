@@ -36,7 +36,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
 		simWork  = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		satWork  = flag.Int("satworkers", 0, "SAT portfolio members per LEC solve (0/1 = single deterministic solver; >1 races diverging solvers, same verdicts)")
+		satWork  = flag.Int("satworkers", 2, "SAT portfolio members per LEC solve, run in the deterministic time-sliced mode: results are bit-identical for every value (0/1 = single solver)")
 	)
 	flag.Parse()
 

@@ -65,6 +65,12 @@ type SATAttackOptions struct {
 	// therefore the exact query count and clause growth, depends on
 	// the race. 0 or 1 keeps the single deterministic solver.
 	PortfolioWorkers int
+	// PortfolioDeterministic replaces the race with the reproducible
+	// time-sliced portfolio schedule: the recovered key, query count
+	// and clause growth are bit-identical on every host (and across
+	// member counts for queries decided in the schedule's first
+	// rounds). The experiment flow sets this for reproducible tables.
+	PortfolioDeterministic bool
 	// Seed diversifies the portfolio members (unused without
 	// PortfolioWorkers > 1).
 	Seed uint64
@@ -111,7 +117,11 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	c := lk.Circuit
 	var s sat.Interface = sat.New()
 	if opt.PortfolioWorkers > 1 {
-		s = sat.NewPortfolio(sat.PortfolioOptions{Workers: opt.PortfolioWorkers, Seed: opt.Seed})
+		s = sat.NewPortfolio(sat.PortfolioOptions{
+			Workers:       opt.PortfolioWorkers,
+			Seed:          opt.Seed,
+			Deterministic: opt.PortfolioDeterministic,
+		})
 	}
 
 	// One shared strashed graph: key TIE cells become leaves, so cones

@@ -56,9 +56,11 @@ type Config struct {
 	// (benchmark baseline; the AIG path is the default).
 	LECLegacyEncoder bool
 	// SolverWorkers > 1 backs the Fig. 3 LEC step with a portfolio of
-	// that many diverging SAT solver instances (first definitive
-	// answer wins); the verdict is identical, only wall clock on hard
-	// miters changes. 0 or 1 keeps the single deterministic solver.
+	// that many diverging SAT solver instances. The flow always runs
+	// the portfolio in its deterministic time-sliced mode, so every
+	// experiment stays bit-reproducible at any worker count — the
+	// verdict, the stats, and the tables do not change with
+	// -satworkers. 0 or 1 keeps the single solver.
 	SolverWorkers int
 	// PlacePasses overrides placement improvement passes (0 = default).
 	PlacePasses int
@@ -174,6 +176,10 @@ func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, e
 			PrefilterPatterns: cfg.LECPrefilterPatterns,
 			LegacyEncoder:     cfg.LECLegacyEncoder,
 			PortfolioWorkers:  cfg.SolverWorkers,
+			// Experiments must reproduce bit-identically on any host
+			// and worker count, so the flow always takes the
+			// deterministic portfolio schedule.
+			PortfolioDeterministic: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("flow: LEC: %w", err)

@@ -84,13 +84,26 @@ type Options struct {
 	// that collapse structurally. 0 or 1 uses the single
 	// deterministic solver.
 	PortfolioWorkers int
+	// PortfolioDeterministic replaces the portfolio's concurrent race
+	// with the reproducible time-sliced schedule (round-robin
+	// SolveLimited slices with doubling budgets): verdicts,
+	// counterexamples and stats are bit-identical on every host, and
+	// identical across member counts for miters decided in the
+	// schedule's first rounds (the common case). The experiment flow
+	// sets this so the paper tables stay reproducible at any
+	// -satworkers value.
+	PortfolioDeterministic bool
 }
 
 // newMiterSolver returns the SAT backend for one check: the single
 // deterministic solver, or a portfolio seeded from the checker seed.
 func newMiterSolver(opt Options) sat.Interface {
 	if opt.PortfolioWorkers > 1 {
-		return sat.NewPortfolio(sat.PortfolioOptions{Workers: opt.PortfolioWorkers, Seed: opt.Seed})
+		return sat.NewPortfolio(sat.PortfolioOptions{
+			Workers:       opt.PortfolioWorkers,
+			Seed:          opt.Seed,
+			Deterministic: opt.PortfolioDeterministic,
+		})
 	}
 	return sat.New()
 }

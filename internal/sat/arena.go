@@ -126,13 +126,13 @@ func (s *Solver) compact() {
 		r += n
 	}
 	s.arena = s.arena[:w]
-	for i := range s.watches {
-		s.watches[i] = s.watches[i][:0]
-		s.binW[i] = s.binW[i][:0]
-		s.triW[i] = s.triW[i][:0]
-	}
+	s.resetWatches()
 	s.forEachClause(func(c cref) {
 		s.watchClause(c, s.claLits(c))
 	})
+	// The append-based rebuild leaves geometric slack per literal in
+	// clause order; one watcher compaction restores the dense
+	// literal-ordered layout the propagation loop profits from.
+	s.compactWatches()
 	s.Stats.Compactions++
 }

@@ -17,6 +17,18 @@ type PortfolioOptions struct {
 	// Seed diversifies the member decision streams; the same Seed
 	// builds the same member configurations on every run.
 	Seed uint64
+	// NoShare disconnects the members' clause-sharing rings. By
+	// default every member exports its short/low-LBD learnt clauses
+	// through a lock-free ring and imports the peers' exports at
+	// restart boundaries, which is what stops an UNSAT race from
+	// rediscovering the same lemmas once per member.
+	NoShare bool
+	// Deterministic replaces the concurrent race with round-robin
+	// SolveLimited slices of doubling conflict budgets on the calling
+	// goroutine (see solveDeterministic). Results — status, model,
+	// winner, and all stats — are bit-identical across runs and hosts
+	// for a fixed configuration, at the cost of no multi-core speedup.
+	Deterministic bool
 }
 
 // Portfolio runs one CNF instance on N solver members whose decision
@@ -28,13 +40,23 @@ type PortfolioOptions struct {
 // shared stop flag (Options.Stop), which is exactly the cancellation
 // hook the CDCL loop checks each iteration.
 //
+// Unless PortfolioOptions.NoShare is set, the members also cooperate:
+// each publishes its short/low-LBD learnt clauses into a lock-free
+// ring (sharing.go) and imports the peers' exports at restart
+// boundaries, so lemmas — above all the UNSAT-proof glue clauses every
+// member would otherwise have to rediscover — are derived once and
+// reused N times.
+//
 // Statuses are exact: every member decides the same formula, so
 // whichever finishes first returns the unique Sat/Unsat answer. Which
 // *model* is found (and all Stats) depends on which member wins the
-// race, so multi-worker portfolios trade model reproducibility for wall
-// clock; with Workers == 1 the portfolio is bit-identical to a plain
-// solver. Portfolio is a sat.Interface and a drop-in replacement for a
-// Solver anywhere statuses, not specific models, carry the result.
+// race, so multi-worker racing portfolios trade model reproducibility
+// for wall clock; with Workers == 1 the portfolio is bit-identical to
+// a plain solver, and with PortfolioOptions.Deterministic the race is
+// replaced by a reproducible time-sliced schedule (solveDeterministic)
+// whose results are bit-identical on every host. Portfolio is a
+// sat.Interface and a drop-in replacement for a Solver anywhere
+// statuses, not specific models, carry the result.
 //
 // A Portfolio is not safe for concurrent use by multiple goroutines
 // (the members own their state); it parallelizes internally instead.
@@ -43,6 +65,8 @@ type Portfolio struct {
 	stop    *atomic.Bool
 	status  []Status // per-member result scratch for one solve round
 	winner  int      // member whose model Value reads
+	det     bool     // deterministic time-sliced mode
+	detUsed []int64  // per-member conflicts granted in the current deterministic solve
 }
 
 // NewPortfolio returns an empty portfolio of opt.Workers diverging
@@ -60,9 +84,24 @@ func NewPortfolio(opt PortfolioOptions) *Portfolio {
 		members: make([]*Solver, n),
 		stop:    stop,
 		status:  make([]Status, n),
+		winner:  0,
+		det:     opt.Deterministic,
+		detUsed: make([]int64, n),
 	}
 	for i := range p.members {
 		p.members[i] = NewWithOptions(memberOptions(i, opt.Seed, stop))
+	}
+	if n > 1 && !opt.NoShare {
+		for _, m := range p.members {
+			m.shareOut = newShareRing()
+		}
+		for i, m := range p.members {
+			for j, peer := range p.members {
+				if j != i {
+					m.shareIn = append(m.shareIn, shareReader{ring: peer.shareOut})
+				}
+			}
+		}
 	}
 	return p
 }
@@ -129,16 +168,26 @@ func (p *Portfolio) Solve(assumptions ...int) Status {
 }
 
 // SolveLimited is Solve with a per-member conflict budget; it returns
-// Unknown only when every member exhausted the budget (or was stopped).
+// Unknown only when every participating member exhausted the budget
+// (or was stopped). A budget small enough to fit in one deterministic
+// scheduling slice is answered canonically by member 0 alone — a
+// bounded probe is a cheap heuristic, not worth N-fold work.
 func (p *Portfolio) SolveLimited(budget int64, assumptions ...int) Status {
 	return p.solve(budget, assumptions)
 }
 
 func (p *Portfolio) solve(budget int64, assumptions []int) Status {
 	p.stop.Store(false) // discard any interrupt aimed at a previous round
-	if len(p.members) == 1 {
+	if len(p.members) == 1 || (budget >= 0 && budget <= detSliceUnit) {
+		// Single member, or a bounded probe that fits in one scheduling
+		// slice (the LEC sweeper's SolveLimited calls): member 0 answers
+		// canonically instead of burning the same budget N times — and
+		// without an engine.Run spawn per probe.
 		p.winner = 0
 		return p.members[0].solve(budget, assumptions)
+	}
+	if p.det {
+		return p.solveDeterministic(budget, assumptions)
 	}
 	var win atomic.Int32
 	win.Store(-1)
@@ -168,8 +217,89 @@ func (p *Portfolio) solve(budget int64, assumptions []int) Status {
 	return Unknown
 }
 
+// detSliceUnit is the first-round conflict budget of one deterministic
+// slice; round r grants detSliceUnit<<r conflicts per member.
+const detSliceUnit = 2000
+
+// solveDeterministic runs the members one after another on the calling
+// goroutine: round r gives each of the first min(r+1, N) members a
+// SolveLimited slice of detSliceUnit<<r conflicts, and the first
+// definitive answer in (round, member) order wins. Everything that
+// feeds a member — its own slice history and the peers' ring contents
+// at each slice boundary — is a pure function of this schedule, so the
+// result (status, model, winner, stats) is bit-identical on every run
+// and host. The staircase (member i joins in round i) additionally
+// makes the result independent of the member count for every instance
+// decided before the schedule first reaches a member index ≥ the
+// smaller count — in particular, instances decided in rounds 0–1 (and
+// member 0–1 of round 2) report identically for any Workers ≥ 2,
+// which is what lets the experiment tables change -satworkers without
+// changing a digit.
+//
+// A finite budget is per-member, as in the racing mode (budgets that
+// fit inside the first slice never reach here — solve routes them to
+// member 0).
+func (p *Portfolio) solveDeterministic(budget int64, assumptions []int) Status {
+	used := p.detUsed
+	for i := range used {
+		used[i] = 0
+	}
+	slice := int64(detSliceUnit)
+	for round := 0; ; round++ {
+		active := round + 1
+		if active > len(p.members) {
+			active = len(p.members)
+		}
+		progress := false
+		for i := 0; i < active; i++ {
+			b := slice
+			if budget >= 0 {
+				if rem := budget - used[i]; rem <= 0 {
+					continue
+				} else if b > rem {
+					b = rem
+				}
+			}
+			st := p.members[i].solve(b, assumptions)
+			used[i] += b
+			if st != Unknown {
+				p.winner = i
+				return st
+			}
+			if p.stop.Load() {
+				p.winner = 0
+				return Unknown
+			}
+			progress = true
+		}
+		if !progress {
+			p.winner = 0
+			return Unknown // every member exhausted its budget
+		}
+		if slice < 1<<40 {
+			slice <<= 1
+		}
+	}
+}
+
 // Value reads variable v from the winning member's model.
 func (p *Portfolio) Value(v int) bool { return p.members[p.winner].Value(v) }
+
+// Stats sums the members' work counters — conflicts, propagations,
+// exported/imported clauses, and the rest — so a portfolio reports all
+// the work it did, not just member 0's share.
+func (p *Portfolio) Stats() Stats {
+	var t Stats
+	for _, m := range p.members {
+		t.add(m.Stats)
+	}
+	return t
+}
+
+// MemberStats returns the work counters of member i (0 ≤ i <
+// Workers()); benchmarks use it to separate the winner's search from
+// the portfolio total.
+func (p *Portfolio) MemberStats(i int) Stats { return p.members[i].Stats }
 
 // Interrupt asks an in-flight portfolio solve to stop by flipping the
 // shared stop flag every member checks in its conflict loop. Unlike

@@ -104,32 +104,17 @@ func TestPortfolioHardInstances(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			p := NewPortfolio(PortfolioOptions{Workers: 4, Seed: 99})
-			v := make([][]int, tc.pigeons)
-			for i := range v {
-				v[i] = make([]int, tc.holes)
-				for h := range v[i] {
-					v[i][h] = p.NewVar()
-				}
-			}
-			for i := 0; i < tc.pigeons; i++ {
-				p.AddClause(v[i]...)
-			}
-			for h := 0; h < tc.holes; h++ {
-				for p1 := 0; p1 < tc.pigeons; p1++ {
-					for p2 := p1 + 1; p2 < tc.pigeons; p2++ {
-						p.AddClause(-v[p1][h], -v[p2][h])
-					}
-				}
-			}
+			pigeonholeIface(p, tc.pigeons, tc.holes)
 			if st := p.Solve(); st != tc.want {
 				t.Fatalf("PHP(%d,%d): got %v want %v", tc.pigeons, tc.holes, st, tc.want)
 			}
 			if tc.want == Sat {
-				// The winning member's model must place every pigeon.
+				// The winning member's model must place every pigeon
+				// (variables are allocated row-major by the builder).
 				for i := 0; i < tc.pigeons; i++ {
 					placed := false
 					for h := 0; h < tc.holes; h++ {
-						if p.Value(v[i][h]) {
+						if p.Value(1 + i*tc.holes + h) {
 							placed = true
 						}
 					}
@@ -146,23 +131,7 @@ func TestPortfolioHardInstances(t *testing.T) {
 // Unknown; the portfolio must report Unknown and stay reusable.
 func TestPortfolioSolveLimited(t *testing.T) {
 	p := NewPortfolio(PortfolioOptions{Workers: 2, Seed: 5})
-	v := make([][]int, 9)
-	for i := range v {
-		v[i] = make([]int, 8)
-		for h := range v[i] {
-			v[i][h] = p.NewVar()
-		}
-	}
-	for i := range v {
-		p.AddClause(v[i]...)
-	}
-	for h := 0; h < 8; h++ {
-		for p1 := 0; p1 < 9; p1++ {
-			for p2 := p1 + 1; p2 < 9; p2++ {
-				p.AddClause(-v[p1][h], -v[p2][h])
-			}
-		}
-	}
+	pigeonholeIface(p, 9, 8)
 	if st := p.SolveLimited(1); st != Unknown {
 		t.Fatalf("budget 1 on PHP(9,8): %v", st)
 	}
@@ -178,23 +147,7 @@ func TestPortfolioSolveLimited(t *testing.T) {
 // members' own interrupt flags are reset at solve entry.
 func TestPortfolioInterrupt(t *testing.T) {
 	p := NewPortfolio(PortfolioOptions{Workers: 2, Seed: 1})
-	v := make([][]int, 10)
-	for i := range v {
-		v[i] = make([]int, 9)
-		for h := range v[i] {
-			v[i][h] = p.NewVar()
-		}
-	}
-	for i := range v {
-		p.AddClause(v[i]...)
-	}
-	for h := 0; h < 9; h++ {
-		for p1 := 0; p1 < 10; p1++ {
-			for p2 := p1 + 1; p2 < 10; p2++ {
-				p.AddClause(-v[p1][h], -v[p2][h])
-			}
-		}
-	}
+	pigeonholeIface(p, 10, 9)
 	done := make(chan Status, 1)
 	go func() { done <- p.Solve() }()
 	time.Sleep(2 * time.Millisecond)

@@ -15,9 +15,12 @@
 // integers allocated by NewVar, a literal is +v or -v. All operations
 // are deterministic: the same sequence of AddClause/Solve calls on the
 // same Options yields the same statuses and models on every run.
-// Cooperative cancellation (Interrupt, Options.Stop) and the Portfolio
-// layer (portfolio.go) trade that model determinism for wall clock;
-// statuses remain exact.
+// Cooperative cancellation (Interrupt, Options.Stop) and the racing
+// Portfolio layer (portfolio.go) trade that model determinism for wall
+// clock — statuses remain exact — while the portfolio's deterministic
+// time-sliced mode (PortfolioOptions.Deterministic) keeps bit-exact
+// reproducibility and still profits from lock-free clause sharing
+// between the members (sharing.go).
 package sat
 
 import (
@@ -120,10 +123,23 @@ type triWatcher struct {
 // Solver holds one CNF instance. The zero value is not usable; call
 // New or NewWithOptions.
 type Solver struct {
-	arena   []uint32       // clause arena: inline headers + literals (arena.go)
-	watches [][]watcher    // literal -> watchers of clauses with ≥4 lits
-	binW    [][]binWatcher // literal -> binary watch list
-	triW    [][]triWatcher // literal -> ternary watch list
+	arena []uint32 // clause arena: inline headers + literals (arena.go)
+
+	// Watcher arena (watch.go): per-literal segments into three
+	// contiguous watcher arrays, replacing per-literal Go slices.
+	wseg  []litWatch           // literal -> its three watch-list segments (one cache line)
+	wData []watcher            // long-clause (≥4 lits) watcher storage
+	bData []binWatcher         // binary watcher storage
+	tData []triWatcher         // ternary watcher storage
+	wLive int                  // long-watcher entries currently in use (sum of lSeg lens)
+	freeB [freeClasses][]int32 // size-class free lists of vacated blocks
+	freeT [freeClasses][]int32
+	freeW [freeClasses][]int32
+	// Ping-pong spares for compactWatches (swapped with the live
+	// arrays, so steady-state compaction allocates nothing).
+	bSpare []binWatcher
+	tSpare []triWatcher
+	wSpare []watcher
 
 	assignLit []int8 // literal -> -1 unassigned / 0 false / 1 true
 	assign    []int8 // var -> -1 unassigned / 0 false / 1 true
@@ -152,6 +168,13 @@ type Solver struct {
 	intr     atomic.Bool  // Interrupt() request, consumed by solve
 	stop     *atomic.Bool // external cancellation (Options.Stop)
 
+	// Clause sharing (sharing.go), wired by the Portfolio: shareOut is
+	// this solver's publish ring, shareIn the peers' rings with this
+	// solver's private read cursors.
+	shareOut  *shareRing
+	shareIn   []shareReader
+	importBuf []uint32 // filtered-literal scratch for importClause
+
 	// Preallocated scratch (reused across calls, never shrunk).
 	seen      []byte   // var -> conflict-analysis mark
 	toClear   []int32  // vars whose seen mark must be reset
@@ -164,16 +187,36 @@ type Solver struct {
 	reduceBuf []cref // candidate list for reduceDB
 
 	// Stats counts solver work for reporting.
-	Stats struct {
-		Conflicts    int64
-		Decisions    int64
-		Propagations int64
-		Learnt       int64
-		Restarts     int64
-		Minimized    int64 // literals removed by learnt-clause minimization
-		Reduced      int64 // learnt clauses deleted by reduceDB
-		Compactions  int64 // arena compactions (one per effective reduceDB)
-	}
+	Stats Stats
+}
+
+// Stats counts the work of one solver (or, summed via Portfolio.Stats,
+// of a whole portfolio).
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64
+	Restarts     int64
+	Minimized    int64 // literals removed by learnt-clause minimization
+	Reduced      int64 // learnt clauses deleted by reduceDB
+	Compactions  int64 // arena compactions (one per effective reduceDB)
+	Exported     int64 // learnt clauses published to the sharing ring
+	Imported     int64 // peer clauses integrated from sharing rings
+}
+
+// add accumulates o into s (used by the portfolio aggregation).
+func (s *Stats) add(o Stats) {
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Learnt += o.Learnt
+	s.Restarts += o.Restarts
+	s.Minimized += o.Minimized
+	s.Reduced += o.Reduced
+	s.Compactions += o.Compactions
+	s.Exported += o.Exported
+	s.Imported += o.Imported
 }
 
 // New returns an empty solver with the deterministic default Options.
@@ -252,9 +295,7 @@ func (s *Solver) NewVar() int {
 	s.seen = append(s.seen, 0)
 	s.addMark = append(s.addMark, 0)
 	s.lbdStamp = append(s.lbdStamp, 0)
-	s.watches = append(s.watches, nil, nil)
-	s.binW = append(s.binW, nil, nil)
-	s.triW = append(s.triW, nil, nil)
+	s.wseg = append(s.wseg, litWatch{}, litWatch{})
 	v := int32(len(s.assign) - 1)
 	s.heapPos = append(s.heapPos, -1)
 	s.heapInsert(v)
@@ -346,7 +387,11 @@ func (s *Solver) AddClause(lits ...int) {
 }
 
 // attachClause copies lits into the arena and installs the watches.
+// It also gives the watcher arena its chance to compact relocation
+// garbage — a point that is never inside propagate, whose loops hold
+// segment offsets.
 func (s *Solver) attachClause(lits []uint32, learnt bool, lbd int32) cref {
+	s.maybeCompactWatches()
 	c := s.allocClause(lits, learnt, lbd)
 	s.watchClause(c, s.claLits(c))
 	if learnt {
@@ -363,15 +408,15 @@ func (s *Solver) attachClause(lits []uint32, learnt bool, lbd int32) cref {
 func (s *Solver) watchClause(c cref, lits []uint32) {
 	switch len(lits) {
 	case 2:
-		s.binW[lits[0]^1] = append(s.binW[lits[0]^1], binWatcher{other: lits[1], c: c})
-		s.binW[lits[1]^1] = append(s.binW[lits[1]^1], binWatcher{other: lits[0], c: c})
+		s.appendBin(lits[0]^1, binWatcher{other: lits[1], c: c})
+		s.appendBin(lits[1]^1, binWatcher{other: lits[0], c: c})
 	case 3:
-		s.triW[lits[0]^1] = append(s.triW[lits[0]^1], triWatcher{a: lits[1], b: lits[2], c: c})
-		s.triW[lits[1]^1] = append(s.triW[lits[1]^1], triWatcher{a: lits[0], b: lits[2], c: c})
-		s.triW[lits[2]^1] = append(s.triW[lits[2]^1], triWatcher{a: lits[0], b: lits[1], c: c})
+		s.appendTri(lits[0]^1, triWatcher{a: lits[1], b: lits[2], c: c})
+		s.appendTri(lits[1]^1, triWatcher{a: lits[0], b: lits[2], c: c})
+		s.appendTri(lits[2]^1, triWatcher{a: lits[0], b: lits[1], c: c})
 	default:
-		s.watches[lits[0]^1] = append(s.watches[lits[0]^1], watcher{c: c, blocker: lits[1]})
-		s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{c: c, blocker: lits[0]})
+		s.appendLong(lits[0]^1, watcher{c: c, blocker: lits[1]})
+		s.appendLong(lits[1]^1, watcher{c: c, blocker: lits[0]})
 	}
 }
 
@@ -452,27 +497,48 @@ func (s *Solver) enqueue(l uint32, from cref) bool {
 	return true
 }
 
+// enq assigns literal l true with the given reason, without checking
+// the current value — propagate's callers have already established the
+// literal is unassigned. Small enough to inline into the propagation
+// loop, unlike enqueue.
+func (s *Solver) enq(l uint32, from cref) {
+	v := litVar(l)
+	s.assign[v] = int8((l & 1) ^ 1)
+	s.assignLit[l] = 1
+	s.assignLit[l^1] = 0
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
 // propagate performs unit propagation; it returns the arena reference
 // of a conflicting clause or -1.
 func (s *Solver) propagate() cref {
+	props := int64(0) // accumulated into Stats once, outside the hot loop
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
-		s.Stats.Propagations++
+		props++
 		// Binary clauses: no watch movement, no clause dereference.
-		for _, bw := range s.binW[p] {
+		// Binary segments only change at clause attach, so a subslice
+		// of the backing array is stable here.
+		lw := &s.wseg[p] // all three segments of p, one cache line
+		bg := lw.bin
+		for _, bw := range s.bData[bg.off : bg.off+bg.len] {
 			switch s.assignLit[bw.other] {
 			case 0:
 				s.qhead = len(s.trail)
+				s.Stats.Propagations += props
 				return bw.c
 			case -1:
-				s.enqueue(bw.other, bw.c)
+				s.enq(bw.other, bw.c)
 			}
 		}
 		// Ternary clauses: the watcher carries the other two literals,
 		// so unit/conflict detection is two loads with no watch
 		// movement.
-		for _, tw := range s.triW[p] {
+		tg := lw.tri
+		for _, tw := range s.tData[tg.off : tg.off+tg.len] {
 			va := s.assignLit[tw.a]
 			if va == 1 {
 				continue
@@ -484,41 +550,77 @@ func (s *Solver) propagate() cref {
 			if va == 0 {
 				if vb == 0 {
 					s.qhead = len(s.trail)
+					s.Stats.Propagations += props
 					return tw.c
 				}
-				s.enqueue(tw.b, tw.c)
+				s.enq(tw.b, tw.c)
 			} else if vb == 0 {
-				s.enqueue(tw.a, tw.c)
+				s.enq(tw.a, tw.c)
 			}
 		}
-		ws := s.watches[p]
+		// Long clauses. Watch moves append to *other* literals'
+		// segments — the new watch is never ¬p (it must be non-false
+		// while ¬p is false), so p's segment never moves during its own
+		// iteration — but a grow can reallocate the backing array, so
+		// the iteration subslice is refreshed after every grow; the
+		// prefix written so far is carried over by the reallocation
+		// copy.
+		off := int(lw.long.off)
+		ws := s.wData[off : off+int(lw.long.len)]
 		j := 0
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
 			// Blocker check: if some other literal of the clause is
 			// already true, keep the watcher without touching the clause.
-			if s.value(w.blocker) == 1 {
-				ws[j] = w
+			bval := s.value(w.blocker)
+			if bval == 1 {
+				// Keep: the self-store is skipped while no watcher has
+				// been dropped (j == i), which is the common case and
+				// keeps the list's cache lines clean.
+				if j != i {
+					ws[j] = w
+				}
 				j++
 				continue
 			}
-			lits := s.claLits(w.c)
-			// Normalize so that lits[1] is the falsified watch ¬p.
-			if lits[0]^1 == p {
-				lits[0], lits[1] = lits[1], lits[0]
+			// The clause body is addressed directly in the arena: the
+			// watched literals live at c+claHdrWords(+1), on the same
+			// cache line as the header, and the size word is only read
+			// when the watch scan actually runs — the keep paths above
+			// and below never need it.
+			base := w.c + claHdrWords
+			l0, l1 := s.arena[base], s.arena[base+1]
+			// Normalize so that position 1 holds the falsified watch ¬p.
+			if l0^1 == p {
+				l0, l1 = l1, l0
+				s.arena[base], s.arena[base+1] = l0, l1
 			}
-			first := lits[0]
-			if first != w.blocker && s.value(first) == 1 {
-				ws[j] = watcher{c: w.c, blocker: first}
-				j++
-				continue
+			first := l0
+			va := bval // the blocker's value doubles as first's when they coincide
+			if first != w.blocker {
+				va = s.value(first)
+				if va == 1 {
+					ws[j] = watcher{c: w.c, blocker: first}
+					j++
+					continue
+				}
 			}
-			// Find a new watch.
+			// Find a new watch; the segment append is inlined here
+			// (this is the hottest write in the solver) with the grow
+			// path out of line.
 			found := false
-			for k := 2; k < len(lits); k++ {
-				if s.value(lits[k]) != 0 {
-					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1]^1] = append(s.watches[lits[1]^1], watcher{c: w.c, blocker: first})
+			for k, end := base+2, base+s.claSize(w.c); k < end; k++ {
+				lk := s.arena[k]
+				if s.value(lk) != 0 {
+					s.arena[base+1], s.arena[k] = lk, l1
+					sg := &s.wseg[lk^1].long
+					if sg.len == sg.cap {
+						s.growLong(sg)
+						ws = s.wData[off : off+len(ws)] // may have reallocated
+					}
+					s.wData[int(sg.off)+int(sg.len)] = watcher{c: w.c, blocker: first}
+					sg.len++
+					s.wLive++
 					found = true
 					break
 				}
@@ -526,22 +628,28 @@ func (s *Solver) propagate() cref {
 			if found {
 				continue // watch moved; drop from this list
 			}
-			// Clause is unit or conflicting.
+			// Clause is unit or conflicting (va was loaded before the
+			// watch scan, which assigns nothing).
 			ws[j] = watcher{c: w.c, blocker: first}
 			j++
-			if !s.enqueue(first, w.c) {
+			if va == 0 {
 				// Conflict: keep remaining watches and report.
 				for i++; i < len(ws); i++ {
 					ws[j] = ws[i]
 					j++
 				}
-				s.watches[p] = ws[:j]
+				s.wLive -= len(ws) - j
+				lw.long.len = int32(j)
 				s.qhead = len(s.trail)
+				s.Stats.Propagations += props
 				return w.c
 			}
+			s.enq(first, w.c)
 		}
-		s.watches[p] = ws[:j]
+		s.wLive -= len(ws) - j
+		lw.long.len = int32(j)
 	}
+	s.Stats.Propagations += props
 	return -1
 }
 
@@ -555,11 +663,7 @@ func (s *Solver) cancelUntil(lvl int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		l := s.trail[i]
 		v := litVar(l)
-		if litNeg(l) {
-			s.polarity[v] = 0
-		} else {
-			s.polarity[v] = 1
-		}
+		s.polarity[v] = int8((l & 1) ^ 1) // branchless phase save
 		s.assign[v] = -1
 		s.assignLit[l] = -1
 		s.assignLit[l^1] = -1
@@ -803,6 +907,14 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 	}
 	rootLevel := s.decisionLevel()
 
+	// Pick up peer clauses published since the last solve (slices of a
+	// deterministic portfolio land here); fresh conflicts they imply
+	// surface through the loop's propagate below.
+	if len(s.shareIn) > 0 && s.importShared() {
+		s.cancelUntil(0)
+		return Unsat
+	}
+
 	var restarts int64
 	conflictLimit := s.lubyUnit * luby(0)
 	conflicts := int64(0)
@@ -833,6 +945,7 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 				return Unsat
 			}
 			learnt, backLvl, lbd := s.analyze(conf)
+			s.exportLearnt(learnt, lbd)
 			if backLvl < rootLevel {
 				backLvl = rootLevel
 			}
@@ -863,6 +976,12 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 			s.Stats.Restarts++
 			s.cancelUntil(rootLevel)
 			s.reduceDB()
+			// Restart boundary: integrate peer clauses while the trail
+			// is at the root level and watches can be placed soundly.
+			if len(s.shareIn) > 0 && s.importShared() {
+				s.cancelUntil(0)
+				return Unsat
+			}
 			continue
 		}
 		v := int32(-1)

@@ -1,0 +1,252 @@
+package sat
+
+import "sync/atomic"
+
+// Clause sharing
+//
+// Every portfolio member owns one shareRing it publishes its best
+// learnt clauses to (single producer); every other member holds a
+// shareReader with a private cursor into that ring (multiple
+// independent consumers, each sees every clause). The ring is a
+// fixed-size buffer of sequence-numbered slots and never blocks: a
+// producer that laps a slow consumer simply overwrites, and the
+// consumer detects the overrun from the slot's sequence number and
+// skips ahead (drop-on-overflow). All slot words are accessed
+// atomically and each slot is published seqlock-style — odd sequence
+// while the producer writes, even when stable, re-checked by the
+// consumer after copying — so readers never act on a torn clause and
+// the exchange is lock-free and allocation-free on both sides.
+//
+// Members export at the moment a clause is learnt (exportLearnt) and
+// import at restart boundaries and at solve entry (importShared), when
+// the solver sits at its root decision level and a peer clause can be
+// attached with sound watches, or directly fuel a conflict. Shared
+// clauses are resolution consequences of the problem clauses alone —
+// assumption literals are never resolved away, they stay in the
+// clause — so importing is sound even across solves under different
+// assumptions.
+
+const (
+	// shareMaxLits is the widest clause a slot can carry; longer learnt
+	// clauses are not exported.
+	shareMaxLits = 8
+	// shareLBDMax is the export glue threshold for clauses longer than
+	// two literals: only clauses this well-connected (low LBD) are
+	// worth a peer's import work.
+	shareLBDMax = 4
+	// shareSlotWords is the uint32 footprint of one slot: a header word
+	// (len | lbd<<16) plus the literals.
+	shareSlotWords = 1 + shareMaxLits
+	// shareRingSlots is the per-member ring capacity. At ~4 KB of
+	// sequence numbers and ~36 KB of payload per member this absorbs
+	// export bursts between two restarts without measurable drops.
+	shareRingSlots = 1 << 12
+)
+
+// shareRing is the single-producer multi-consumer broadcast ring of one
+// portfolio member.
+type shareRing struct {
+	seq   []atomic.Uint64 // per slot: 2k+1 while clause k is written, 2k+2 stable
+	buf   []atomic.Uint32 // shareRingSlots * shareSlotWords payload words
+	count uint64          // producer-private publish count
+}
+
+func newShareRing() *shareRing {
+	return &shareRing{
+		seq: make([]atomic.Uint64, shareRingSlots),
+		buf: make([]atomic.Uint32, shareRingSlots*shareSlotWords),
+	}
+}
+
+// publish copies the clause into the next slot. Producer-only; callers
+// guarantee len(lits) <= shareMaxLits.
+func (r *shareRing) publish(lits []uint32, lbd int32) {
+	k := r.count
+	i := k % shareRingSlots
+	base := i * shareSlotWords
+	r.seq[i].Store(2*k + 1) // writing
+	r.buf[base].Store(uint32(len(lits)) | uint32(lbd)<<16)
+	for j, l := range lits {
+		r.buf[base+1+uint64(j)].Store(l)
+	}
+	r.seq[i].Store(2*k + 2) // stable
+	r.count = k + 1
+}
+
+// shareReader is one consumer's private cursor into a peer's ring.
+type shareReader struct {
+	ring *shareRing
+	next uint64 // next clause index to read
+}
+
+// read copies clause r.next into buf and advances the cursor. It
+// returns ok=false when the producer has published nothing newer. A
+// consumer that was lapped skips forward to the oldest clause still
+// guaranteed intact and keeps going — dropped clauses are gone for
+// this consumer, by design.
+func (rd *shareReader) read(buf *[shareMaxLits]uint32) (lits []uint32, lbd int32, ok bool) {
+	r := rd.ring
+	for {
+		i := rd.next % shareRingSlots
+		v := r.seq[i].Load()
+		want := 2*rd.next + 2
+		if v < want {
+			return nil, 0, false // clause rd.next not published yet
+		}
+		if v == want {
+			base := i * shareSlotWords
+			hdr := r.buf[base].Load()
+			n := hdr & 0xffff
+			if n > shareMaxLits {
+				n = shareMaxLits // torn header; the re-check below rejects it
+			}
+			for j := uint32(0); j < n; j++ {
+				buf[j] = r.buf[base+1+uint64(j)].Load()
+			}
+			if r.seq[i].Load() != want {
+				continue // overwritten mid-copy: re-resolve from the new sequence
+			}
+			rd.next++
+			return buf[:n], int32(hdr >> 16), true
+		}
+		// v > want: the producer lapped this cursor. Skip to the oldest
+		// clause whose slot has not been reused yet; the seqlock check
+		// protects the ones the producer is overtaking right now.
+		published := v / 2 // holds for both odd (writing) and even (stable) v
+		if published > shareRingSlots && rd.next < published-shareRingSlots {
+			rd.next = published - shareRingSlots
+		} else {
+			rd.next++ // pathological torn slot: step over it
+		}
+	}
+}
+
+// exportLearnt publishes a freshly learnt clause to this member's ring
+// when it is short or low-glue enough to help a peer. No-op outside a
+// sharing portfolio.
+func (s *Solver) exportLearnt(lits []uint32, lbd int32) {
+	if s.shareOut == nil || len(lits) > shareMaxLits {
+		return
+	}
+	if len(lits) > 2 && lbd > shareLBDMax {
+		return
+	}
+	s.shareOut.publish(lits, lbd)
+	s.Stats.Exported++
+}
+
+// importShared drains every peer ring into this solver. It must be
+// called at the root decision level with no pending propagation
+// conflict (solve entry or a restart boundary). It returns true when an
+// imported clause is conflicting under the current root-level
+// assignment — the caller must then return Unsat (importClause has
+// already set s.unsat if the conflict is assumption-free).
+func (s *Solver) importShared() bool {
+	var buf [shareMaxLits]uint32
+	for i := range s.shareIn {
+		rd := &s.shareIn[i]
+		for {
+			lits, lbd, ok := rd.read(&buf)
+			if !ok {
+				break
+			}
+			if s.importClause(lits, lbd) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importClause integrates one peer clause: literals false at level 0
+// are dropped, clauses satisfied at level 0 are skipped, and the rest
+// is attached as a learnt clause with sound watches under the current
+// root-level assignment — propagating when unit, or reporting a
+// conflict (return true) when falsified. Conflicts with level-0
+// assignments mark the instance unsat; conflicts above level 0 involve
+// assumption pseudo-decisions and only fail the current solve.
+func (s *Solver) importClause(lits []uint32, lbd int32) (conflict bool) {
+	out := s.importBuf[:0]
+	for _, l := range lits {
+		if int(l) >= len(s.assignLit) {
+			return false // torn/foreign literal: drop the clause
+		}
+		switch s.value(l) {
+		case 1:
+			if s.level[litVar(l)] == 0 {
+				return false // satisfied forever
+			}
+		case 0:
+			if s.level[litVar(l)] == 0 {
+				continue // dead literal
+			}
+		}
+		out = append(out, l)
+	}
+	s.importBuf = out[:0]
+	switch len(out) {
+	case 0:
+		// Every literal is false at level 0: the peer proved the
+		// instance unsatisfiable.
+		s.unsat = true
+		s.Stats.Imported++
+		return true
+	case 1:
+		l := out[0]
+		s.Stats.Imported++
+		switch s.value(l) {
+		case 1:
+			return false // already true at some level
+		case 0:
+			// Not false at level 0 (filtered above), so the conflict
+			// involves an assumption pseudo-decision: fail this solve
+			// only.
+			return true
+		}
+		s.enqueue(l, noReason)
+		return false
+	}
+	// Watch selection under the current assignment: two non-false
+	// literals when they exist; otherwise the single non-false literal
+	// plus the highest-level false one (so backtracking un-falsifies
+	// the second watch first); all-false is a root-level conflict.
+	w0, w1 := -1, -1
+	for i, l := range out {
+		if s.value(l) != 0 {
+			if w0 < 0 {
+				w0 = i
+			} else {
+				w1 = i
+				break
+			}
+		}
+	}
+	if w0 < 0 {
+		s.Stats.Imported++
+		return true // falsified under the root-level assignment
+	}
+	if w1 < 0 {
+		for i := range out {
+			if i == w0 {
+				continue
+			}
+			if w1 < 0 || s.level[litVar(out[i])] > s.level[litVar(out[w1])] {
+				w1 = i
+			}
+		}
+	}
+	out[0], out[w0] = out[w0], out[0]
+	if w1 == 0 {
+		w1 = w0 // the old out[0] moved there
+	}
+	out[1], out[w1] = out[w1], out[1]
+	if int(lbd) > len(out) {
+		lbd = int32(len(out))
+	}
+	c := s.attachClause(out, true, lbd)
+	s.Stats.Imported++
+	if s.value(out[0]) == -1 && s.value(out[1]) == 0 {
+		s.enqueue(out[0], c) // unit under the current assignment
+	}
+	return false
+}
