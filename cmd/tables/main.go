@@ -10,13 +10,24 @@
 //	tables -all            everything
 //
 // Scale and pattern counts default to values that finish in minutes;
-// raise -scale/-patterns/-runs to approach the paper's full setup.
+// raise -scale/-patterns/-runs to approach the paper's full setup. A
+// full-paper-scale run of one benchmark, e.g.
+//
+//	tables -table 1 -scale 1.0 -patterns 1048576 -benchmarks b14
+//
+// is practical on a laptop: the AIG rewriting and SAT inprocessing
+// passes keep the LEC and attack queries tractable at 1.0 scale, and
+// -benchmarks restricts the suite so a single circuit can be studied
+// at full size. With -satworkers in the deterministic time-sliced
+// mode (the default), the printed tables are byte-identical for every
+// worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bmarks"
@@ -37,8 +48,17 @@ func main() {
 		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
 		simWork  = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		satWork  = flag.Int("satworkers", 2, "SAT portfolio members per LEC solve, run in the deterministic time-sliced mode: results are bit-identical for every value (0/1 = single solver)")
+		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the full suite of the selected table); e.g. -benchmarks b14 for a single full-scale run")
 	)
 	flag.Parse()
+	var benches []string
+	if *benchSel != "" {
+		for _, b := range strings.Split(*benchSel, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				benches = append(benches, b)
+			}
+		}
+	}
 
 	start := time.Now()
 	any := false
@@ -50,7 +70,8 @@ func main() {
 	if *all || *table == "1" || *table == "2" || *table == "f6" {
 		any = true
 		rows, err := flow.RunITC(flow.ITCOptions{
-			Scale: *scale, KeyBits: *keyBits, Patterns: *patterns,
+			Benchmarks: benches,
+			Scale:      *scale, KeyBits: *keyBits, Patterns: *patterns,
 			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
 			SolverWorkers: *satWork,
 		})
@@ -73,7 +94,8 @@ func main() {
 	if *all || *table == "3" {
 		any = true
 		rows, err := flow.RunISCAS(flow.ISCASOptions{
-			KeyBits: *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
+			Benchmarks: benches,
+			KeyBits:    *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
 			SimWorkers: *simWork, SolverWorkers: *satWork,
 		})
 		if err != nil {
@@ -84,7 +106,8 @@ func main() {
 	if *all || *fig == 5 {
 		any = true
 		rows, err := flow.RunFig5(flow.Fig5Options{
-			Scale: *scale, KeyBits: *keyBits, Seed: *seed, Parallel: *parallel,
+			Benchmarks: benches,
+			Scale:      *scale, KeyBits: *keyBits, Seed: *seed, Parallel: *parallel,
 		})
 		if err != nil {
 			fail(err)
@@ -94,7 +117,11 @@ func main() {
 	if *all || *ideal {
 		any = true
 		fmt.Println("\n== Ideal proximity attack (Sec. IV-A): regular nets granted, key-nets guessed ==")
-		for _, b := range bmarks.ITC99Names() {
+		idealBenches := benches
+		if len(idealBenches) == 0 {
+			idealBenches = bmarks.ITC99Names()
+		}
+		for _, b := range idealBenches {
 			res, err := flow.RunIdealAttack(b, *scale, *keyBits, *runs, 256, *seed)
 			if err != nil {
 				fail(err)

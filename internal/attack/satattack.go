@@ -41,6 +41,9 @@ type SATResult struct {
 	// a key leaf; only these are encoded per copy — everything else
 	// strashes away into one shared encoding across the two copies.
 	KeyDepNodes int
+	// AIGRewriteSaved is the AND-node reduction of the cut-rewriting
+	// pass run before encoding (AIGNodes reflects the rewritten graph).
+	AIGRewriteSaved int
 }
 
 // SATAttackOptions tunes SATAttackOpt.
@@ -74,6 +77,9 @@ type SATAttackOptions struct {
 	// Seed diversifies the portfolio members (unused without
 	// PortfolioWorkers > 1).
 	Seed uint64
+	// NoRewrite disables the AIG cut-rewriting pass that shrinks the
+	// observable cones before the one-time shared encoding.
+	NoRewrite bool
 }
 
 // SATAttack runs the oracle-guided key-extraction attack of
@@ -136,6 +142,28 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	m, err := bld.Add(c)
 	if err != nil {
 		return nil, err
+	}
+
+	// Observable literals: outputs by position, then next-state bits.
+	var obsLits []aig.Lit
+	for _, o := range c.Outputs() {
+		obsLits = append(obsLits, m[o])
+	}
+	for _, ff := range c.DFFs() {
+		obsLits = append(obsLits, m[c.Gate(ff).Fanin[0]])
+	}
+
+	// Cut rewriting shrinks the observable cones — and with them both
+	// keyed encodings and every per-query cofactor cone — before any
+	// CNF exists. Key leaves survive by construction (leaves are never
+	// rewritten away), so the leaf-role bookkeeping below is unaffected.
+	rewriteSaved := 0
+	if !opt.NoRewrite {
+		rm, rst := bld.Rewrite(obsLits, aig.RewriteOptions{})
+		for i := range obsLits {
+			obsLits[i] = aig.MapLit(rm, obsLits[i])
+		}
+		rewriteSaved = rst.Saved()
 	}
 	g := bld.Graph()
 
@@ -233,15 +261,6 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		}
 	}
 
-	// Observable literals: outputs by position, then next-state bits.
-	var obsLits []aig.Lit
-	for _, o := range c.Outputs() {
-		obsLits = append(obsLits, m[o])
-	}
-	for _, ff := range c.DFFs() {
-		obsLits = append(obsLits, m[c.Gate(ff).Fanin[0]])
-	}
-
 	// Conditional miter: active → some key-dependent observable
 	// differs. Key-independent observables are the same node in both
 	// copies and can never distinguish two keys.
@@ -271,10 +290,11 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	cof := newAIGCof(g, leafDi, leafKey, obsLits)
 
 	res := &SATResult{
-		BaseClauses:   s.NumProblemClauses(),
-		AIGNodes:      g.NumAnds(),
-		AIGStrashHits: g.Stats.StrashHits,
-		KeyDepNodes:   keyDepNodes,
+		BaseClauses:     s.NumProblemClauses(),
+		AIGNodes:        g.NumAnds(),
+		AIGStrashHits:   g.Stats.StrashHits,
+		KeyDepNodes:     keyDepNodes,
+		AIGRewriteSaved: rewriteSaved,
 	}
 	dis := make([][]bool, 0, batch)
 	for res.Iterations < maxIter {

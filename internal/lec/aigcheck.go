@@ -50,6 +50,28 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 		pairs = append(pairs, pair{ma[a.Gate(fa).Fanin[0]], mb[b.Gate(fb).Fanin[0]]})
 	}
 
+	res := Result{Equivalent: true, UsedSAT: true}
+
+	// Cut rewriting: shrink the observable cones before sweeping and
+	// CNF emission. Pairs and the leaf registry are remapped through
+	// the rewrite's node map; structural pair collapses (la == lb) can
+	// only increase, never revert, because the rewrite preserves every
+	// root function.
+	if !opt.NoRewrite {
+		rwRoots := make([]aig.Lit, 0, 2*len(pairs))
+		for _, p := range pairs {
+			rwRoots = append(rwRoots, p.la, p.lb)
+		}
+		rm, rst := bld.Rewrite(rwRoots, aig.RewriteOptions{})
+		g = bld.Graph()
+		for i := range pairs {
+			pairs[i].la = aig.MapLit(rm, pairs[i].la)
+			pairs[i].lb = aig.MapLit(rm, pairs[i].lb)
+		}
+		res.Stats.RewriteSaved = rst.Saved()
+		res.Stats.Rewrites = rst.Rewrites
+	}
+
 	s := newMiterSolver(opt)
 	sw := newSweeper(g, s, bld, opt.Seed)
 	// Sweep only the cones of pairs that strashing did not already
@@ -65,7 +87,6 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 		sw.sweep(roots)
 	}
 
-	res := Result{Equivalent: true, UsedSAT: true}
 	res.Stats.AIGNodes = g.NumAnds()
 	res.Stats.StrashHits = g.Stats.StrashHits
 

@@ -53,6 +53,12 @@ type Stats struct {
 	// SATPairs counts observable pairs that needed a SAT call (pairs
 	// proven by structural identity need none).
 	SATPairs int
+	// RewriteSaved is the AND-node reduction of the cut-rewriting pass
+	// (AIGNodes already reflects the rewritten graph).
+	RewriteSaved int
+	// Rewrites counts nodes the rewriting pass replaced by a smaller
+	// NPN-class structure.
+	Rewrites int
 	// ProblemClauses is the final problem-clause count of the miter
 	// instance (0 when the whole proof was structural).
 	ProblemClauses int
@@ -66,6 +72,12 @@ type Options struct {
 	PrefilterPatterns int
 	// Seed drives the prefilter stimulus.
 	Seed uint64
+	// NoRewrite disables the AIG cut-rewriting pass that runs between
+	// graph construction and sweeping/CNF emission on the AIG path. The
+	// pass is on by default: it shrinks the miter cones (and therefore
+	// the CNF) before any solving happens, at a small deterministic
+	// reconstruction cost.
+	NoRewrite bool
 	// LegacyEncoder selects the pre-AIG path: direct Tseitin encoding
 	// of the netlists with variable-signature sharing and the
 	// simulation-guided sweep of the encoder merge hook. The default

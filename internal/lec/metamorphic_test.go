@@ -186,13 +186,25 @@ o = OR(both, neither)
 		if !res.Equivalent {
 			t.Fatal("sum-of-products XNOR not equivalent to NOT(XOR)")
 		}
-		// The two cones differ structurally; the complement-canonical
-		// sweep must prove the merge so the output pair needs no SAT.
-		if res.Stats.SweepMerges == 0 {
-			t.Error("complement merge did not happen in the sweeper")
+		// The two cones differ structurally as written; the cut
+		// rewriter normalizes both onto one structure (or, with the
+		// rewrite disabled, the complement-canonical sweep proves the
+		// merge) so the output pair must never need SAT.
+		if res.Stats.SweepMerges == 0 && res.Stats.Rewrites == 0 {
+			t.Error("neither the rewriter nor the sweeper merged the complement forms")
 		}
 		if res.Stats.SATPairs != 0 {
 			t.Errorf("output pair fell through to the miter: %+v", res.Stats)
+		}
+		noRW, err := Check(a, b, Options{PrefilterPatterns: -1, NoRewrite: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !noRW.Equivalent {
+			t.Fatal("NoRewrite path disagrees")
+		}
+		if noRW.Stats.SweepMerges == 0 {
+			t.Error("complement merge did not happen in the sweeper with rewriting off")
 		}
 	})
 }

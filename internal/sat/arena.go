@@ -8,10 +8,16 @@ import "math"
 // contiguous []uint32 with a 3-word inline header directly in front of
 // its literals:
 //
-//	word 0   size<<2 | learnt(bit 0) | deleted(bit 1)
+//	word 0   size<<4 | learnt(bit 0) | deleted(bit 1) |
+//	         imported(bit 2) | vivified(bit 3)
 //	word 1   LBD (glue) of a learnt clause
 //	word 2   float32 activity bits
 //	word 3…  the literals (internal encoding: var<<1 | neg)
+//
+// The imported bit marks clauses integrated from a peer's sharing ring
+// (reduceDB evicts that tier harder — the peer still has the clause).
+// The vivified bit marks learnt clauses the distillation pass has
+// already processed, so each clause is vivified at most once.
 //
 // A clause reference (cref) is the arena offset of word 0; watch lists
 // and the per-variable reason array store crefs. Reading a clause in
@@ -25,10 +31,12 @@ import "math"
 type cref = int32
 
 const (
-	claHdrWords    = 3
-	claLearntFlag  = 1
-	claDeletedFlag = 2
-	claFlagBits    = 2
+	claHdrWords     = 3
+	claLearntFlag   = 1
+	claDeletedFlag  = 2
+	claImportedFlag = 4
+	claVivifiedFlag = 8
+	claFlagBits     = 4
 )
 
 // allocClause appends a clause to the arena and returns its reference.
@@ -53,10 +61,12 @@ func (s *Solver) claLits(c cref) []uint32 {
 	return s.arena[c+claHdrWords : c+claHdrWords+s.claSize(c)]
 }
 
-func (s *Solver) claLearnt(c cref) bool  { return s.arena[c]&claLearntFlag != 0 }
-func (s *Solver) claDeleted(c cref) bool { return s.arena[c]&claDeletedFlag != 0 }
-func (s *Solver) claLBD(c cref) int32    { return int32(s.arena[c+1]) }
-func (s *Solver) claAct(c cref) float32  { return math.Float32frombits(s.arena[c+2]) }
+func (s *Solver) claLearnt(c cref) bool   { return s.arena[c]&claLearntFlag != 0 }
+func (s *Solver) claDeleted(c cref) bool  { return s.arena[c]&claDeletedFlag != 0 }
+func (s *Solver) claImported(c cref) bool { return s.arena[c]&claImportedFlag != 0 }
+func (s *Solver) claVivified(c cref) bool { return s.arena[c]&claVivifiedFlag != 0 }
+func (s *Solver) claLBD(c cref) int32     { return int32(s.arena[c+1]) }
+func (s *Solver) claAct(c cref) float32   { return math.Float32frombits(s.arena[c+2]) }
 
 // claMarkDeleted tombstones clause c; the size stays readable so arena
 // walks can skip over it until the next compaction reclaims the words.

@@ -95,3 +95,108 @@ func FuzzSolverInterrupt(f *testing.F) {
 		}
 	})
 }
+
+// remapCNF folds the literals of cnf into 1..numVars so a second decode
+// pass over shifted fuzz bytes yields clauses over the same variables.
+func remapCNF(cnf [][]int, numVars int) [][]int {
+	out := make([][]int, 0, len(cnf))
+	for _, cl := range cnf {
+		ncl := make([]int, len(cl))
+		for i, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			v = (v-1)%numVars + 1
+			if l < 0 {
+				v = -v
+			}
+			ncl[i] = v
+		}
+		out = append(out, ncl)
+	}
+	return out
+}
+
+// FuzzInprocessDifferential drives the inprocessing passes —
+// subsumption, self-subsumption, bounded variable elimination and
+// learnt-clause vivification — directly on fuzzer-chosen instances and
+// cross-checks every verdict and model against brute force, including
+// solves under assumptions (which freeze and reintroduce eliminated
+// variables), incremental clause addition over eliminated variables,
+// and eliminated-variable model extension through Value.
+func FuzzInprocessDifferential(f *testing.F) {
+	f.Add([]byte{7, 1, 0, 2, 1, 0, 3, 0, 1, 1, 2, 0})
+	f.Add([]byte{0xff, 9, 1, 9, 0, 8, 1, 8, 0, 7, 1, 7, 0, 1, 0, 2, 0, 3, 0})
+	f.Add([]byte{0x35, 1, 0, 1, 1, 2, 0, 2, 1, 3, 0, 3, 1, 4, 0, 4, 1})
+	f.Add([]byte{11, 5, 0, 6, 1, 5, 0, 2, 0, 9, 1, 2, 1, 3, 0, 4, 0, 5, 1, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		numVars, cnf, _ := cnfFromBytes(data)
+		s := New()
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		// Force a full simplification round regardless of the size and
+		// growth gates, then check the verdict and the extended model.
+		if !s.unsat && s.propagate() < 0 {
+			s.simplify()
+		}
+		want := brute(numVars, cnf)
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("after simplify: solver=%v brute=%v cnf=%v", got, want, cnf)
+		} else if got == Sat {
+			verifyModel(t, s, cnf, 0) // Value must extend over eliminated vars
+		}
+
+		// Assumptions touch every variable, so frozen/reintroduce paths
+		// fire for anything BVE removed.
+		for v := 1; v <= numVars; v++ {
+			for _, a := range []int{v, -v} {
+				got := s.Solve(a)
+				if wantA := bruteAssume(numVars, cnf, []int{a}); (got == Sat) != wantA {
+					t.Fatalf("assumption %d: solver=%v brute=%v cnf=%v", a, got, wantA, cnf)
+				}
+				if got == Sat {
+					verifyModel(t, s, cnf, 0)
+					if s.Value(v) != (a > 0) {
+						t.Fatalf("assumption %d not honored in model", a)
+					}
+				}
+			}
+		}
+
+		// Force a vivification pass over whatever was learnt and
+		// re-check (the schedule gate is bypassed, the level gate not).
+		s.cancelUntil(0)
+		s.lastViv = -(1 << 40)
+		s.maybeVivify()
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("after vivify: solver=%v brute=%v cnf=%v", got, want, cnf)
+		} else if got == Sat {
+			verifyModel(t, s, cnf, 0)
+		}
+
+		// Incremental clause addition over the same variables: clauses
+		// mentioning eliminated variables must reintroduce them.
+		if len(data) > 3 {
+			_, cnf2, _ := cnfFromBytes(data[3:])
+			cnf2 = remapCNF(cnf2, numVars)
+			for _, cl := range cnf2 {
+				s.AddClause(cl...)
+				cnf = append(cnf, cl)
+			}
+			want = brute(numVars, cnf)
+			if !s.unsat && s.propagate() < 0 {
+				s.simplify() // second round on the grown instance
+			}
+			if got := s.Solve(); (got == Sat) != want {
+				t.Fatalf("after growth: solver=%v brute=%v cnf=%v", got, want, cnf)
+			} else if got == Sat {
+				verifyModel(t, s, cnf, 0)
+			}
+		}
+	})
+}

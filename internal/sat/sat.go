@@ -92,6 +92,13 @@ type Options struct {
 	// it, so one flag can stop a whole fleet of solvers; the Portfolio
 	// owns such a flag to cancel losers once a member finds an answer.
 	Stop *atomic.Bool
+	// NoPreprocess disables the solve-entry clause-database
+	// simplification (subsumption, self-subsumption and bounded
+	// variable elimination, see simplify.go). On by default.
+	NoPreprocess bool
+	// NoVivify disables learnt-clause vivification at restart
+	// boundaries (see simplify.go). On by default.
+	NoVivify bool
 }
 
 // watcher is one entry of a long-clause (≥4 literals) watch list. The
@@ -184,7 +191,32 @@ type Solver struct {
 	addBuf    []uint32 // AddClause literal buffer
 	lbdStamp  []uint32 // level -> stamp for LBD counting
 	lbdTick   uint32
-	reduceBuf []cref // candidate list for reduceDB
+	reduceBuf []cref // candidate list for reduceDB (local tier)
+	reduceImp []cref // candidate list for reduceDB (imported tier)
+
+	// Inprocessing state (simplify.go).
+	elim      []byte    // var -> eliminated by bounded variable elimination
+	frozen    []byte    // var -> has appeared in assumptions; never eliminate
+	elimValue []int8    // var -> extended model value of an eliminated var
+	elimSt    []elimRec // elimination stack (model-extension order)
+	elimLits  []uint32  // removed clauses, [len, lits...] per clause
+	numElim   int       // variables currently eliminated
+	lastSimp  int       // numProblem after the last simplify run
+	lastViv   int64     // Stats.Conflicts at the last vivification pass
+	simpCls   []cref    // scratch: live problem clauses
+	simpSig   []uint64  // scratch: clause signatures, parallel to simpCls
+	simpOcc   [][]int32 // scratch: literal -> indices into simpCls
+	simpUnits []uint32  // scratch: units deferred to after compaction
+	simpBuf   []uint32  // scratch: shortened-clause assembly
+	simpBuf2  []uint32  // scratch: subsumer literal copy
+	bvePos    []int32   // scratch: positive-occurrence clause indices
+	bveNeg    []int32   // scratch: negative-occurrence clause indices
+	bveRes    []uint32  // scratch: resolvent batch, [len, lits...] per clause
+	bveOne    []uint32  // scratch: single-resolvent assembly
+	litMark   []byte    // literal -> subsumption/resolution mark
+	vivBuf    []uint32  // scratch: clause under vivification
+	vivOut    []uint32  // scratch: vivified literal set
+	vivCand   []cref    // scratch: vivification candidates
 
 	// Stats counts solver work for reporting.
 	Stats Stats
@@ -203,6 +235,12 @@ type Stats struct {
 	Compactions  int64 // arena compactions (one per effective reduceDB)
 	Exported     int64 // learnt clauses published to the sharing ring
 	Imported     int64 // peer clauses integrated from sharing rings
+	Subsumed     int64 // problem clauses removed by subsumption
+	Strengthened int64 // literals removed by self-subsumption
+	ElimVars     int64 // variables removed by bounded variable elimination
+	Reintroduced int64 // eliminated variables restored on later mention
+	Vivified     int64 // learnt clauses shortened or deleted by vivification
+	VivifiedLits int64 // literals removed by vivification
 }
 
 // add accumulates o into s (used by the portfolio aggregation).
@@ -217,6 +255,12 @@ func (s *Stats) add(o Stats) {
 	s.Compactions += o.Compactions
 	s.Exported += o.Exported
 	s.Imported += o.Imported
+	s.Subsumed += o.Subsumed
+	s.Strengthened += o.Strengthened
+	s.ElimVars += o.ElimVars
+	s.Reintroduced += o.Reintroduced
+	s.Vivified += o.Vivified
+	s.VivifiedLits += o.VivifiedLits
 }
 
 // New returns an empty solver with the deterministic default Options.
@@ -295,6 +339,10 @@ func (s *Solver) NewVar() int {
 	s.seen = append(s.seen, 0)
 	s.addMark = append(s.addMark, 0)
 	s.lbdStamp = append(s.lbdStamp, 0)
+	s.elim = append(s.elim, 0)
+	s.frozen = append(s.frozen, 0)
+	s.elimValue = append(s.elimValue, 0)
+	s.litMark = append(s.litMark, 0, 0)
 	s.wseg = append(s.wseg, litWatch{}, litWatch{})
 	v := int32(len(s.assign) - 1)
 	s.heapPos = append(s.heapPos, -1)
@@ -323,6 +371,20 @@ func (s *Solver) value(l uint32) int8 { return s.assignLit[l] }
 // automatically). An empty clause makes the instance trivially UNSAT.
 func (s *Solver) AddClause(lits ...int) {
 	s.cancelUntil(0)
+	// A clause mentioning a variable that bounded variable elimination
+	// removed forces that variable (and, cascading, any eliminated
+	// variable its stored clauses mention) back into the instance first.
+	if s.numElim > 0 {
+		for _, l := range lits {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > 0 && v <= len(s.elim) && s.elim[v-1] != 0 {
+				s.reintroduce(int32(v - 1))
+			}
+		}
+	}
 	// Deduplicate and detect tautologies with the per-var mark bytes
 	// (bit0 = positive seen, bit1 = negative seen); no map, no
 	// allocation beyond the literal buffer.
@@ -443,34 +505,54 @@ func (s *Solver) locked(c cref) bool {
 // place (see compact). Victims are picked by glue first (higher LBD
 // goes first) and clause activity second (colder clauses go first);
 // binary clauses, glue clauses (LBD ≤ 2) and clauses that are the
-// reason of a current assignment are kept.
+// reason of a current assignment are kept. Imported clauses form their
+// own eviction tier: they are a renewable resource — the peer that
+// found one still has it and re-shares its descendants — so the
+// imported tier is evicted harder (3/4) and, being sorted separately,
+// can never crowd locally learnt clauses out of the candidate list.
 func (s *Solver) reduceDB() {
 	limit := 2*s.numProblem + 10000
 	if s.numLearnt <= limit {
 		return
 	}
 	cand := s.reduceBuf[:0]
+	imp := s.reduceImp[:0]
 	s.forEachClause(func(c cref) {
-		if s.claLearnt(c) && s.claSize(c) > 2 && s.claLBD(c) > 2 && !s.locked(c) {
+		if !s.claLearnt(c) || s.claSize(c) <= 2 || s.claLBD(c) <= 2 || s.locked(c) {
+			return
+		}
+		if s.claImported(c) {
+			imp = append(imp, c)
+		} else {
 			cand = append(cand, c)
 		}
 	})
-	sort.Slice(cand, func(i, j int) bool {
-		a, b := cand[i], cand[j]
-		if la, lb := s.claLBD(a), s.claLBD(b); la != lb {
-			return la > lb
+	colder := func(set []cref) func(i, j int) bool {
+		return func(i, j int) bool {
+			a, b := set[i], set[j]
+			if la, lb := s.claLBD(a), s.claLBD(b); la != lb {
+				return la > lb
+			}
+			if aa, ab := s.claAct(a), s.claAct(b); aa != ab {
+				return aa < ab
+			}
+			return a < b // deterministic tie-break
 		}
-		if aa, ab := s.claAct(a), s.claAct(b); aa != ab {
-			return aa < ab
-		}
-		return a < b // deterministic tie-break
-	})
+	}
+	sort.Slice(cand, colder(cand))
+	sort.Slice(imp, colder(imp))
 	for _, c := range cand[:len(cand)/2] {
 		s.claMarkDeleted(c)
 		s.numLearnt--
 		s.Stats.Reduced++
 	}
+	for _, c := range imp[:3*len(imp)/4] {
+		s.claMarkDeleted(c)
+		s.numLearnt--
+		s.Stats.Reduced++
+	}
 	s.reduceBuf = cand[:0]
+	s.reduceImp = imp[:0]
 	s.compact()
 }
 
@@ -831,12 +913,15 @@ func (s *Solver) bumpVar(v int32) {
 }
 
 // pickBranch returns the unassigned variable with highest activity, or
-// -1 when all variables are assigned.
+// -1 when all variables are assigned. Eliminated variables are skipped
+// (and drop out of the heap until reintroduction re-inserts them):
+// nothing constrains them, and an arbitrary branch value would
+// contradict the model extension over their removed clauses.
 func (s *Solver) pickBranch() int32 {
 	for len(s.heap) > 0 {
 		v := s.heap[0]
 		s.heapRemoveTop()
-		if s.assign[v] < 0 {
+		if s.assign[v] < 0 && s.elim[v] == 0 {
 			return v
 		}
 	}
@@ -886,6 +971,28 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 	s.cancelUntil(0)
 	if conf := s.propagate(); conf >= 0 {
 		s.unsat = true
+		return Unsat
+	}
+	// Assumption variables are frozen against elimination forever (the
+	// caller may assume them again), and any already eliminated are
+	// restored before they are assumed.
+	for _, a := range assumptions {
+		v := a
+		if v < 0 {
+			v = -v
+		}
+		s.frozen[v-1] = 1
+		if s.elim[v-1] != 0 {
+			s.reintroduce(int32(v - 1))
+		}
+	}
+	if s.unsat {
+		return Unsat
+	}
+	// Solve-entry inprocessing: subsumption, self-subsumption and
+	// bounded variable elimination, gated on problem-clause growth.
+	s.maybeSimplify()
+	if s.unsat {
 		return Unsat
 	}
 	// Apply assumptions as decisions.
@@ -976,6 +1083,13 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 			s.Stats.Restarts++
 			s.cancelUntil(rootLevel)
 			s.reduceDB()
+			// Restart boundary: distill learnt clauses before they are
+			// shared (root level only — at assumption levels the
+			// strengthening would depend on the assumptions).
+			s.maybeVivify()
+			if s.unsat {
+				return Unsat
+			}
 			// Restart boundary: integrate peer clauses while the trail
 			// is at the root level and watches can be placed soundly.
 			if len(s.shareIn) > 0 && s.importShared() {
@@ -988,7 +1102,7 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 		if s.rng != 0 && len(s.heap) > 0 && s.nextRand()%64 == 0 {
 			// Seeded random decision (~1/64): pick any heap entry; fall
 			// through to the activity maximum if it is already assigned.
-			if cand := s.heap[s.nextRand()%uint64(len(s.heap))]; s.assign[cand] < 0 {
+			if cand := s.heap[s.nextRand()%uint64(len(s.heap))]; s.assign[cand] < 0 && s.elim[cand] == 0 {
 				v = cand
 			}
 		}
@@ -996,7 +1110,10 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 			v = s.pickBranch()
 		}
 		if v < 0 {
-			// All variables assigned: model found (not a decision).
+			// All live variables assigned: model found (not a
+			// decision). Extend it over the eliminated variables so
+			// Value answers for them too.
+			s.extendModel()
 			return Sat
 		}
 		s.Stats.Decisions++
@@ -1010,7 +1127,12 @@ func (s *Solver) solve(budget int64, assumptions []int) Status {
 }
 
 // Value returns the model value of variable v after a Sat result.
+// Eliminated variables answer from the extended model computed over
+// their removed clauses (see extendModel).
 func (s *Solver) Value(v int) bool {
+	if s.assign[v-1] < 0 && s.elim[v-1] != 0 {
+		return s.elimValue[v-1] == 1
+	}
 	return s.assign[v-1] == 1
 }
 

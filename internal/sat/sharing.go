@@ -171,6 +171,13 @@ func (s *Solver) importClause(lits []uint32, lbd int32) (conflict bool) {
 		if int(l) >= len(s.assignLit) {
 			return false // torn/foreign literal: drop the clause
 		}
+		if s.elim[litVar(l)] != 0 {
+			// Mentions a variable this member eliminated: attaching it
+			// would let propagation assign the variable behind the
+			// model extension's back. Peers diverge here only in their
+			// learnt databases, never in statuses.
+			return false
+		}
 		switch s.value(l) {
 		case 1:
 			if s.level[litVar(l)] == 0 {
@@ -244,6 +251,7 @@ func (s *Solver) importClause(lits []uint32, lbd int32) (conflict bool) {
 		lbd = int32(len(out))
 	}
 	c := s.attachClause(out, true, lbd)
+	s.arena[c] |= claImportedFlag // reduceDB evicts the import tier harder
 	s.Stats.Imported++
 	if s.value(out[0]) == -1 && s.value(out[1]) == 0 {
 		s.enqueue(out[0], c) // unit under the current assignment

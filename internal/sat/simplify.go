@@ -1,0 +1,734 @@
+package sat
+
+// Inprocessing — simplification at solve entry and restart boundaries
+//
+// Two cooperating passes keep the clause database small while solving:
+//
+//   - simplify (solve entry, gated on problem-clause growth): top-level
+//     application of the level-0 assignment, backward subsumption and
+//     self-subsumption over signature-filtered occurrence lists, and
+//     SatELite-style bounded variable elimination (BVE). A variable is
+//     eliminated when its non-tautological resolvent set is no larger
+//     than the clause set it replaces; the removed clauses go to a side
+//     stack. Mentioning an eliminated variable again — in AddClause or
+//     as an assumption — restores its clauses, cascading through other
+//     eliminated variables they mention, and a Sat answer extends the
+//     model over the stack in reverse so Value stays correct for every
+//     variable ever allocated. Clause surgery never shrinks a clause in
+//     place (the arena walks stride by the header size); shortened
+//     clauses are re-allocated at the arena end and the original is
+//     tombstoned until the closing compaction reclaims it.
+//
+//   - vivify (restart boundaries, on a conflict-count schedule):
+//     learnt-clause distillation. Each candidate is detached from the
+//     watch lists — propagating through the clause under distillation
+//     would let it subsume itself — then its literals are assumed false
+//     one at a time and unit propagation over the rest of the database
+//     shortens the clause when it derives a conflict or implies a
+//     literal. Shortened clauses re-enter the sharing ring, so a
+//     portfolio spreads distilled clauses instead of raw ones.
+//
+// Both passes run at decision level zero only and are deterministic:
+// candidate orders come from the arena layout and variable indices,
+// never from map iteration.
+
+const (
+	// simpMinClauses is the problem size below which simplification is
+	// not worth its occurrence-list setup.
+	simpMinClauses = 80
+	// simpGrowth re-arms simplify once the problem clauses grew by
+	// 1/simpGrowth (20%) since the last run.
+	simpGrowth = 5
+	// subMaxOcc bounds the occurrence-list length scanned per literal
+	// during subsumption (longer lists are skipped, not truncated).
+	subMaxOcc = 600
+	// bveMaxOcc: variables occurring more often than this in either
+	// phase are not elimination candidates (resolvent counting on them
+	// is quadratic and almost never pays off).
+	bveMaxOcc = 16
+	// bveMaxClause bounds the clauses entering a resolution step and
+	// the subsumer size in subsumption checks.
+	bveMaxClause = 16
+	// bveMaxResolvent aborts an elimination that would create a clause
+	// longer than this, whatever the literal-count balance says.
+	bveMaxResolvent = 16
+	// vivifyInterval is the conflict distance between vivification
+	// passes.
+	vivifyInterval = 6000
+	// vivifyMaxPass bounds the clauses distilled per pass.
+	vivifyMaxPass = 400
+	// vivifyMaxLits skips clauses longer than this (their shortenings
+	// rarely survive reduceDB anyway).
+	vivifyMaxLits = 32
+)
+
+// elimRec records one eliminated variable and the slice of elimLits
+// ([len, lits...] per clause) holding the clauses removed with it.
+type elimRec struct {
+	v        int32
+	off, end int32
+}
+
+// maybeSimplify runs the solve-entry simplification when the problem
+// clause set grew enough since the last run to pay for the setup.
+// Must be called at decision level zero.
+func (s *Solver) maybeSimplify() {
+	if s.opts.NoPreprocess || s.unsat || s.decisionLevel() != 0 {
+		return
+	}
+	if s.numProblem < simpMinClauses || s.numProblem < s.lastSimp+s.lastSimp/simpGrowth {
+		return
+	}
+	s.simplify()
+	s.lastSimp = s.numProblem
+}
+
+// simplify is one full inprocessing round over the problem clauses:
+// level-0 clean-up, subsumption/self-subsumption, BVE, then one arena
+// compaction and the deferred unit propagations.
+func (s *Solver) simplify() {
+	// Level-0 reasons are never resolved on (analyze skips level-0
+	// vars) but would dangle when their clause is deleted or moved;
+	// drop them before any clause surgery.
+	for _, l := range s.trail {
+		s.reason[litVar(l)] = noReason
+	}
+	units := s.simpUnits[:0]
+
+	// Collect the live problem clauses and apply the level-0
+	// assignment: satisfied clauses die, falsified literals drop out.
+	cls := s.simpCls[:0]
+	s.forEachClause(func(c cref) {
+		if !s.claLearnt(c) {
+			cls = append(cls, c)
+		}
+	})
+	for i, c := range cls {
+		out := s.simpBuf[:0]
+		satisfied := false
+		for _, l := range s.claLits(c) {
+			switch s.value(l) {
+			case 1:
+				satisfied = true
+			case 0:
+				continue
+			default:
+				out = append(out, l)
+			}
+			if satisfied {
+				break
+			}
+		}
+		s.simpBuf = out
+		if satisfied {
+			s.dropProblem(cls, i)
+		} else if len(out) < int(s.claSize(c)) {
+			units = s.replaceProblem(cls, i, out, units)
+		}
+	}
+
+	// Occurrence lists (literal -> clause indices) and per-clause
+	// variable signatures over the survivors.
+	nLits := 2 * len(s.assign)
+	occ := s.simpOcc
+	if cap(occ) < nLits {
+		occ = append(occ[:cap(occ)], make([][]int32, nLits-cap(occ))...)
+	}
+	occ = occ[:nLits]
+	for l := range occ {
+		occ[l] = occ[l][:0]
+	}
+	sig := s.simpSig[:0]
+	for i, c := range cls {
+		var sg uint64
+		if c >= 0 {
+			for _, l := range s.claLits(c) {
+				sg |= 1 << (uint32(litVar(l)) & 63)
+				occ[l] = append(occ[l], int32(i))
+			}
+		}
+		sig = append(sig, sg)
+	}
+
+	// Backward subsumption and self-subsumption.
+	for i := range cls {
+		if s.unsat {
+			break
+		}
+		if cls[i] < 0 || s.claSize(cls[i]) > bveMaxClause {
+			continue
+		}
+		units = s.subsumeWith(cls, sig, occ, i, units)
+	}
+
+	// Bounded variable elimination, in variable-index order.
+	elimBefore := s.numElim
+	if !s.unsat {
+		for v := int32(0); v < int32(len(s.assign)); v++ {
+			if s.elim[v] != 0 || s.frozen[v] != 0 || s.assign[v] >= 0 {
+				continue
+			}
+			cls, sig, units = s.tryEliminate(cls, sig, occ, v, units)
+			if s.unsat {
+				break
+			}
+		}
+	}
+
+	// Learnt clauses mentioning a variable eliminated this round are
+	// sound to keep (they are consequences of the original clauses) but
+	// useless — nothing else constrains those variables — and would let
+	// propagation assign them behind the model extension's back.
+	if s.numElim > elimBefore {
+		s.forEachClause(func(c cref) {
+			if !s.claLearnt(c) {
+				return
+			}
+			for _, l := range s.claLits(c) {
+				if s.elim[litVar(l)] != 0 {
+					s.claMarkDeleted(c)
+					s.numLearnt--
+					return
+				}
+			}
+		})
+	}
+
+	s.simpCls = cls[:0]
+	s.simpSig = sig[:0]
+	s.simpOcc = occ
+	s.simpUnits = units[:0]
+
+	// Reclaim the tombstones and rebuild all watches, then apply the
+	// units the clause surgery produced.
+	s.compact()
+	for _, u := range units {
+		if s.unsat {
+			break
+		}
+		switch s.value(u) {
+		case 1:
+			continue
+		case 0:
+			s.unsat = true
+		default:
+			if !s.enqueue(u, noReason) || s.propagate() >= 0 {
+				s.unsat = true
+			}
+		}
+	}
+}
+
+// dropProblem tombstones problem clause cls[i].
+func (s *Solver) dropProblem(cls []cref, i int) {
+	s.claMarkDeleted(cls[i])
+	s.numProblem--
+	cls[i] = -1
+}
+
+// replaceProblem replaces problem clause cls[i] by the shortened
+// literal set out — tombstone plus re-allocation at the arena end.
+// Unit and empty results are deferred to the post-compaction
+// propagation (watch lists are stale during simplification).
+func (s *Solver) replaceProblem(cls []cref, i int, out []uint32, units []uint32) []uint32 {
+	s.dropProblem(cls, i)
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		units = append(units, out[0])
+	default:
+		c := s.allocClause(out, false, 0)
+		s.numProblem++
+		cls[i] = c
+	}
+	return units
+}
+
+// subsumeWith lets clause cls[i] subsume and strengthen its occurrence
+// neighborhood: any clause containing all of its literals dies, and a
+// clause containing all of them except one flipped literal loses that
+// flipped literal (self-subsumption — the resolvent subsumes it).
+// Occurrence lists are candidate generators only; the containment scan
+// over the candidate body is authoritative, so entries staled by
+// earlier strengthenings are harmless.
+func (s *Solver) subsumeWith(cls []cref, sig []uint64, occ [][]int32, i int, units []uint32) []uint32 {
+	// Copy the subsumer out of the arena: strengthening re-allocates
+	// clauses, which may move the arena backing array.
+	lits := append(s.simpBuf2[:0], s.claLits(cls[i])...)
+	s.simpBuf2 = lits
+	for _, l := range lits {
+		s.litMark[l] = 1
+	}
+	sigC := sig[i]
+	n := len(lits)
+	for _, l := range lits {
+		// Plain subsumption: D ⊇ C through occ[l].
+		if list := occ[l]; len(list) <= subMaxOcc {
+			for _, ji := range list {
+				j := int(ji)
+				d := cls[j]
+				if j == i || d < 0 || sigC&^sig[j] != 0 || int(s.claSize(d)) < n {
+					continue
+				}
+				hits := 0
+				for _, m := range s.claLits(d) {
+					if s.litMark[m] != 0 {
+						hits++
+					}
+				}
+				if hits == n {
+					s.dropProblem(cls, j)
+					s.Stats.Subsumed++
+				}
+			}
+		}
+		// Self-subsumption: D ⊇ (C \ {l}) ∪ {¬l} loses ¬l.
+		if list := occ[l^1]; len(list) <= subMaxOcc {
+			for _, ji := range list {
+				j := int(ji)
+				d := cls[j]
+				if j == i || d < 0 || sigC&^sig[j] != 0 || int(s.claSize(d)) < n {
+					continue
+				}
+				hits, hasFlip := 0, false
+				for _, m := range s.claLits(d) {
+					if m == l^1 {
+						hasFlip = true
+					} else if s.litMark[m] != 0 {
+						hits++
+					}
+				}
+				if !hasFlip || hits != n-1 {
+					continue
+				}
+				out := s.simpBuf[:0]
+				for _, m := range s.claLits(d) {
+					if m != l^1 {
+						out = append(out, m)
+					}
+				}
+				s.simpBuf = out
+				units = s.replaceProblem(cls, j, out, units)
+				if cls[j] >= 0 {
+					var sg uint64
+					for _, m := range out {
+						sg |= 1 << (uint32(litVar(m)) & 63)
+					}
+					sig[j] = sg
+				}
+				s.Stats.Strengthened++
+			}
+		}
+	}
+	for _, l := range lits {
+		s.litMark[l] = 0
+	}
+	return units
+}
+
+// litIn reports whether lits contains l (validates stale occurrence
+// entries).
+func litIn(lits []uint32, l uint32) bool {
+	for _, m := range lits {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// tryEliminate removes variable v by resolution when its
+// non-tautological resolvent set is no larger than the clause set it
+// replaces (SatELite's bound) and no resolvent exceeds the length cap.
+func (s *Solver) tryEliminate(cls []cref, sig []uint64, occ [][]int32, v int32, units []uint32) ([]cref, []uint64, []uint32) {
+	// A deferred unit on v is a live one-literal clause that the
+	// occurrence lists cannot see (its source was tombstoned); resolving
+	// without it would silently drop its resolvents.
+	for _, u := range units {
+		if litVar(u) == v {
+			return cls, sig, units
+		}
+	}
+	lp, ln := uint32(v)<<1, uint32(v)<<1|1
+	pos := s.bvePos[:0]
+	for _, ji := range occ[lp] {
+		if j := int(ji); cls[j] >= 0 && litIn(s.claLits(cls[j]), lp) {
+			pos = append(pos, ji)
+		}
+	}
+	neg := s.bveNeg[:0]
+	for _, ji := range occ[ln] {
+		if j := int(ji); cls[j] >= 0 && litIn(s.claLits(cls[j]), ln) {
+			neg = append(neg, ji)
+		}
+	}
+	s.bvePos, s.bveNeg = pos, neg
+	if len(pos) == 0 && len(neg) == 0 {
+		return cls, sig, units // unconstrained variable: leave it alone
+	}
+	if len(pos) > bveMaxOcc || len(neg) > bveMaxOcc {
+		return cls, sig, units
+	}
+	origLits := 0
+	for _, j := range pos {
+		if s.claSize(cls[j]) > bveMaxClause {
+			return cls, sig, units
+		}
+		origLits += int(s.claSize(cls[j]))
+	}
+	for _, j := range neg {
+		if s.claSize(cls[j]) > bveMaxClause {
+			return cls, sig, units
+		}
+		origLits += int(s.claSize(cls[j]))
+	}
+
+	// Build every non-tautological resolvent into scratch first (the
+	// clause bodies alias the arena, so nothing may allocate yet). The
+	// elimination must not grow the formula on either axis: no more
+	// resolvents than originals (SatELite) and no more total literals
+	// either (NiVER) — without the literal bound, resolving a wide
+	// clause against many binaries trades cheap two-watched binaries
+	// for wide clauses and measurably slows propagation.
+	budget := len(pos) + len(neg)
+	resBuf := s.bveRes[:0]
+	count, totLits := 0, 0
+	for _, pj := range pos {
+		a := s.claLits(cls[pj])
+		for _, nj := range neg {
+			b := s.claLits(cls[nj])
+			r, taut := s.resolve(a, b, v)
+			if taut {
+				continue
+			}
+			if len(r) == 0 {
+				// Empty resolvent: the instance is unsatisfiable.
+				s.bveRes = resBuf[:0]
+				s.unsat = true
+				return cls, sig, units
+			}
+			totLits += len(r)
+			if len(r) > bveMaxResolvent || count == budget || totLits > origLits {
+				s.bveRes = resBuf[:0]
+				return cls, sig, units
+			}
+			resBuf = append(resBuf, uint32(len(r)))
+			resBuf = append(resBuf, r...)
+			count++
+		}
+	}
+	s.bveRes = resBuf
+
+	// Commit: store the removed clauses for model extension and
+	// reintroduction (before any allocation moves the arena), mark the
+	// variable, drop the originals, add the resolvents.
+	off := int32(len(s.elimLits))
+	for _, j := range pos {
+		lits := s.claLits(cls[j])
+		s.elimLits = append(s.elimLits, uint32(len(lits)))
+		s.elimLits = append(s.elimLits, lits...)
+	}
+	for _, j := range neg {
+		lits := s.claLits(cls[j])
+		s.elimLits = append(s.elimLits, uint32(len(lits)))
+		s.elimLits = append(s.elimLits, lits...)
+	}
+	s.elimSt = append(s.elimSt, elimRec{v: v, off: off, end: int32(len(s.elimLits))})
+	s.elim[v] = 1
+	s.numElim++
+	s.Stats.ElimVars++
+	for _, j := range pos {
+		s.dropProblem(cls, int(j))
+	}
+	for _, j := range neg {
+		s.dropProblem(cls, int(j))
+	}
+	for k := 0; k < len(resBuf); {
+		nr := int(resBuf[k])
+		r := resBuf[k+1 : k+1+nr]
+		k += 1 + nr
+		if nr == 1 {
+			units = append(units, r[0])
+			continue
+		}
+		c := s.allocClause(r, false, 0)
+		s.numProblem++
+		idx := int32(len(cls))
+		cls = append(cls, c)
+		var sg uint64
+		for _, m := range r {
+			sg |= 1 << (uint32(litVar(m)) & 63)
+			occ[m] = append(occ[m], idx)
+		}
+		sig = append(sig, sg)
+	}
+	s.bveRes = resBuf[:0]
+	return cls, sig, units
+}
+
+// resolve computes the resolvent of a (containing v positively) and b
+// (containing ¬v) on v into its own scratch, deduplicating literals
+// and reporting tautologies.
+func (s *Solver) resolve(a, b []uint32, v int32) (r []uint32, taut bool) {
+	out := s.bveOne[:0]
+	for _, l := range a {
+		if litVar(l) == v {
+			continue
+		}
+		s.litMark[l] = 1
+		out = append(out, l)
+	}
+	for _, l := range b {
+		if litVar(l) == v {
+			continue
+		}
+		if s.litMark[l^1] != 0 {
+			taut = true
+			break
+		}
+		if s.litMark[l] != 0 {
+			continue
+		}
+		out = append(out, l)
+	}
+	for _, l := range a {
+		if litVar(l) != v {
+			s.litMark[l] = 0
+		}
+	}
+	s.bveOne = out
+	return out, taut
+}
+
+// reintroduce restores an eliminated variable: its removed clauses are
+// re-added to the instance (the resolvents stay — they are implied),
+// cascading through any other eliminated variable those clauses
+// mention. Must be called at decision level zero.
+func (s *Solver) reintroduce(v int32) {
+	if s.elim[v] == 0 {
+		return
+	}
+	work := []int32{v}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.elim[u] == 0 {
+			continue
+		}
+		s.elim[u] = 0
+		s.numElim--
+		s.Stats.Reintroduced++
+		if s.assign[u] < 0 && s.heapPos[u] < 0 {
+			s.heapInsert(u)
+		}
+		idx := -1
+		for i := len(s.elimSt) - 1; i >= 0; i-- {
+			if s.elimSt[i].v == u {
+				idx = i
+				break
+			}
+		}
+		rec := s.elimSt[idx]
+		s.elimSt = append(s.elimSt[:idx], s.elimSt[idx+1:]...)
+		for off := rec.off; off < rec.end; {
+			nc := int32(s.elimLits[off])
+			lits := s.elimLits[off+1 : off+1+nc]
+			off += 1 + nc
+			for _, l := range lits {
+				if lv := litVar(l); s.elim[lv] != 0 {
+					work = append(work, lv)
+				}
+			}
+			s.addInternal(lits)
+		}
+	}
+}
+
+// addInternal attaches one stored clause during reintroduction, under
+// the current level-0 assignment. The literals are already deduplicated
+// and tautology-free (they passed AddClause once).
+func (s *Solver) addInternal(lits []uint32) {
+	out := s.addBuf[:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case 1:
+			return // satisfied at level 0: redundant forever
+		case 0:
+			continue
+		}
+		out = append(out, l)
+	}
+	s.addBuf = out[:0]
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		if !s.enqueue(out[0], noReason) || s.propagate() >= 0 {
+			s.unsat = true
+		}
+	default:
+		s.attachClause(out, false, 0)
+	}
+}
+
+// extendModel assigns every eliminated variable a value satisfying its
+// removed clauses, walking the elimination stack in reverse: a stored
+// clause mentions only variables that were live at elimination time, so
+// any eliminated variable it mentions was eliminated later and has
+// already been extended. The variable defaults to false and flips to
+// true when a stored clause containing it positively is not satisfied
+// by the other literals; resolution completeness guarantees the
+// negative-occurrence clauses are then satisfied by their own others.
+func (s *Solver) extendModel() {
+	for i := len(s.elimSt) - 1; i >= 0; i-- {
+		rec := s.elimSt[i]
+		posLit := uint32(rec.v) << 1
+		val := int8(0)
+		for off := rec.off; off < rec.end && val == 0; {
+			nc := int32(s.elimLits[off])
+			lits := s.elimLits[off+1 : off+1+nc]
+			off += 1 + nc
+			hasPos := false
+			satisfied := false
+			for _, l := range lits {
+				if litVar(l) == rec.v {
+					hasPos = hasPos || l == posLit
+					continue
+				}
+				if s.extLitTrue(l) {
+					satisfied = true
+					break
+				}
+			}
+			if hasPos && !satisfied {
+				val = 1
+			}
+		}
+		s.elimValue[rec.v] = val
+	}
+}
+
+// extLitTrue evaluates a literal under the model extended so far.
+func (s *Solver) extLitTrue(l uint32) bool {
+	v := litVar(l)
+	t := s.assign[v]
+	if t < 0 {
+		t = s.elimValue[v]
+	}
+	return (t == 1) != litNeg(l)
+}
+
+// maybeVivify distills learnt clauses on a conflict-count schedule.
+// Must be called with no pending propagation; runs at root decision
+// level zero only — at assumption levels the strengthening would
+// depend on the assumptions and could not be kept.
+func (s *Solver) maybeVivify() {
+	if s.opts.NoVivify || s.unsat || s.decisionLevel() != 0 {
+		return
+	}
+	if s.Stats.Conflicts-s.lastViv < vivifyInterval {
+		return
+	}
+	s.lastViv = s.Stats.Conflicts
+	cand := s.vivCand[:0]
+	end := cref(len(s.arena))
+	for c := cref(0); c < end && len(cand) < vivifyMaxPass; c += claHdrWords + s.claSize(c) {
+		if s.claDeleted(c) || !s.claLearnt(c) || s.claVivified(c) {
+			continue
+		}
+		if n := s.claSize(c); n < 3 || n > vivifyMaxLits {
+			continue
+		}
+		cand = append(cand, c)
+	}
+	for _, c := range cand {
+		if s.unsat {
+			break
+		}
+		// Re-check per clause: an earlier vivification may have
+		// propagated a unit that locked or satisfied this one.
+		if s.claDeleted(c) || s.locked(c) {
+			continue
+		}
+		s.vivifyClause(c)
+	}
+	s.vivCand = cand[:0]
+}
+
+// vivifyClause assumes the negation of each literal of c in turn and
+// lets unit propagation over the rest of the database shorten the
+// clause: a conflict proves the prefix assumed so far is itself a
+// valid clause; an implied-true literal closes the clause early; an
+// implied-false literal is self-subsumed away. The clause is detached
+// first so it cannot propagate through itself.
+func (s *Solver) vivifyClause(c cref) {
+	lits := append(s.vivBuf[:0], s.claLits(c)...)
+	s.vivBuf = lits
+	s.detachClause(c)
+	out := s.vivOut[:0]
+	satisfied := false
+	s.trailLim = append(s.trailLim, len(s.trail))
+loop:
+	for _, l := range lits {
+		switch s.value(l) {
+		case 1:
+			if s.level[litVar(l)] == 0 {
+				satisfied = true // true forever: the clause is garbage
+			} else {
+				out = append(out, l) // ¬out implies l: out ∨ l subsumes c
+			}
+			break loop
+		case 0:
+			continue // false at level 0, or implied false by ¬out: drop
+		}
+		out = append(out, l)
+		s.enqueue(l^1, noReason)
+		if s.propagate() >= 0 {
+			break // ¬out is contradictory: out alone is implied
+		}
+	}
+	s.cancelUntil(0)
+	s.vivOut = out
+
+	if satisfied {
+		s.claMarkDeleted(c)
+		s.numLearnt--
+		s.Stats.Vivified++
+		return
+	}
+	if len(out) == len(lits) {
+		// Nothing gained: re-watch the original, mark it done.
+		s.arena[c] |= claVivifiedFlag
+		s.watchClause(c, s.claLits(c))
+		return
+	}
+	s.Stats.Vivified++
+	s.Stats.VivifiedLits += int64(len(lits) - len(out))
+	act := s.arena[c+2]
+	imported := s.claImported(c)
+	lbd := s.claLBD(c)
+	if int(lbd) > len(out) {
+		lbd = int32(len(out))
+	}
+	s.claMarkDeleted(c)
+	s.numLearnt--
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		if !s.enqueue(out[0], noReason) || s.propagate() >= 0 {
+			s.unsat = true
+		}
+	default:
+		nc := s.attachClause(out, true, lbd)
+		s.arena[nc] |= claVivifiedFlag
+		if imported {
+			s.arena[nc] |= claImportedFlag
+		}
+		s.arena[nc+2] = act
+		// A distilled clause is strictly stronger than what the ring
+		// carried before: share it again.
+		s.exportLearnt(out, lbd)
+	}
+}
