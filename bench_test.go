@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -57,7 +58,7 @@ func BenchmarkTableI(b *testing.B) {
 	for _, mode := range engineModes {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows, err := flow.RunITC(flow.ITCOptions{
+				rows, err := flow.RunITC(context.Background(), flow.ITCOptions{
 					Benchmarks: []string{"b14", "b15"},
 					Scale:      benchScale,
 					KeyBits:    benchKeyBits,
@@ -99,7 +100,7 @@ func BenchmarkTableII(b *testing.B) {
 	for _, mode := range engineModes {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows, err := flow.RunITC(flow.ITCOptions{
+				rows, err := flow.RunITC(context.Background(), flow.ITCOptions{
 					Benchmarks: []string{"b14", "b20"},
 					Scale:      benchScale,
 					KeyBits:    benchKeyBits,
@@ -140,7 +141,7 @@ func BenchmarkPatternEngine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	art, err := flow.Run(orig, flow.Config{KeyBits: benchKeyBits, SplitLayer: 4, Seed: 7, UseATPGLock: true})
+	art, err := flow.Run(context.Background(), orig, flow.Config{KeyBits: benchKeyBits, SplitLayer: 4, Seed: 7, UseATPGLock: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func BenchmarkPatternEngine(b *testing.B) {
 // [12] [13] versus the proposed scheme on ISCAS benchmarks at M4.
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := flow.RunISCAS(flow.ISCASOptions{
+		rows, err := flow.RunISCAS(context.Background(), flow.ISCASOptions{
 			Benchmarks: []string{"c432", "c880", "c1355"},
 			KeyBits:    benchKeyBits,
 			Patterns:   benchPatterns,
@@ -210,7 +211,7 @@ func BenchmarkTableIII(b *testing.B) {
 // the unprotected baseline.
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := flow.RunFig5(flow.Fig5Options{
+		rows, err := flow.RunFig5(context.Background(), flow.Fig5Options{
 			Benchmarks: []string{"b14", "b15", "b20"},
 			Scale:      benchScale,
 			KeyBits:    benchKeyBits,
@@ -244,7 +245,7 @@ func BenchmarkFig5(b *testing.B) {
 // of the raw attack (no key post-processing) drops well below 50%.
 func BenchmarkFootnote6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := flow.RunITC(flow.ITCOptions{
+		rows, err := flow.RunITC(context.Background(), flow.ITCOptions{
 			Benchmarks: []string{"b14"},
 			Scale:      benchScale,
 			KeyBits:    benchKeyBits,
@@ -268,7 +269,7 @@ func BenchmarkFootnote6(b *testing.B) {
 // experiment (paper: 1M runs, OER stays 100%).
 func BenchmarkIdealAttack(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := flow.RunIdealAttack("b14", benchScale, benchKeyBits, 500, 256, 6)
+		res, err := flow.RunIdealAttack(context.Background(), "b14", benchScale, benchKeyBits, 500, 256, 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -676,7 +677,7 @@ func BenchmarkFlowRuntime(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := flow.Run(orig, flow.Config{KeyBits: benchKeyBits, SplitLayer: 4, Seed: uint64(i), UseATPGLock: true}); err != nil {
+		if _, err := flow.Run(context.Background(), orig, flow.Config{KeyBits: benchKeyBits, SplitLayer: 4, Seed: uint64(i), UseATPGLock: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

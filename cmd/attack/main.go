@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 	flag.Parse()
 
 	if *ideal {
-		res, err := flow.RunIdealAttack(*bench, *scale, *keyBits, *runs, 256, *seed)
+		res, err := flow.RunIdealAttack(context.Background(), *bench, *scale, *keyBits, *runs, 256, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	art, err := flow.Run(orig, flow.Config{
+	art, err := flow.Run(context.Background(), orig, flow.Config{
 		KeyBits:     *keyBits,
 		SplitLayer:  *splitAt,
 		Seed:        *seed,

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,7 +51,7 @@ func main() {
 	st := orig.ComputeStats()
 	fmt.Printf("design %s: %s\n", orig.Name, st)
 
-	art, err := flow.Run(orig, flow.Config{
+	art, err := flow.Run(context.Background(), orig, flow.Config{
 		KeyBits:     *keyBits,
 		SplitLayer:  *splitAt,
 		Seed:        *seed,

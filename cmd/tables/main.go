@@ -21,44 +21,64 @@
 // at full size. With -satworkers in the deterministic time-sliced
 // mode (the default), the printed tables are byte-identical for every
 // worker count.
+//
+// Long sweeps are crash-safe: -manifest checkpoints every completed
+// benchmark×layer cell to an atomically updated JSON file, SIGINT or
+// SIGTERM cancels cleanly (exit 130, manifest flushed), and -resume
+// picks the sweep back up, recomputing only the missing cells — the
+// resumed table is byte-identical to an uninterrupted run. -jobtimeout
+// bounds each job, -retries retries transient failures, and -merge
+// unions shard manifests from a split sweep.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bmarks"
 	"repro/internal/flow"
+	"repro/internal/runmanifest"
 )
 
 func main() {
 	var (
-		table    = flag.String("table", "", "table to regenerate: 1, 2, 3 or f6")
-		fig      = flag.Int("fig", 0, "figure to regenerate: 5")
-		ideal    = flag.Bool("ideal", false, "run the ideal proximity attack experiment")
-		all      = flag.Bool("all", false, "regenerate everything")
-		scale    = flag.Float64("scale", 0.1, "ITC'99 benchmark scale (1.0 = published size)")
-		keyBits  = flag.Int("keybits", 128, "key size")
-		patterns = flag.Int("patterns", 1<<16, "HD/OER simulation patterns (paper: 1M)")
-		runs     = flag.Int("runs", 2000, "ideal-attack runs (paper: 1M)")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		parallel = flag.Bool("parallel", true, "run benchmarks concurrently")
-		simWork  = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		satWork  = flag.Int("satworkers", 2, "SAT portfolio members per LEC solve, run in the deterministic time-sliced mode: results are bit-identical for every value (0/1 = single solver)")
-		benchSel = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the full suite of the selected table); e.g. -benchmarks b14 for a single full-scale run")
+		table      = flag.String("table", "", "table to regenerate: 1, 2, 3 or f6")
+		fig        = flag.Int("fig", 0, "figure to regenerate: 5")
+		ideal      = flag.Bool("ideal", false, "run the ideal proximity attack experiment")
+		all        = flag.Bool("all", false, "regenerate everything")
+		scale      = flag.Float64("scale", 0.1, "ITC'99 benchmark scale (1.0 = published size)")
+		keyBits    = flag.Int("keybits", 128, "key size")
+		patterns   = flag.Int("patterns", 1<<16, "HD/OER simulation patterns (paper: 1M)")
+		runs       = flag.Int("runs", 2000, "ideal-attack runs (paper: 1M)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		parallel   = flag.Bool("parallel", true, "run benchmarks concurrently")
+		simWork    = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		satWork    = flag.Int("satworkers", 2, "SAT portfolio members per LEC solve, run in the deterministic time-sliced mode: results are bit-identical for every value (0/1 = single solver)")
+		benchSel   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the full suite of the selected table); e.g. -benchmarks b14 for a single full-scale run")
+		jobTimeout = flag.Duration("jobtimeout", 0, "per-cell deadline for Table I/II jobs; a blown deadline is recorded on that cell and the others keep running (0 = none)")
+		retries    = flag.Int("retries", 0, "extra attempts for a failed Table I/II job (doubling backoff; timeouts and interrupts are not retried)")
+		manifestP  = flag.String("manifest", "", "checkpoint file for the Table I/II sweep: every completed cell is flushed there atomically")
+		resume     = flag.Bool("resume", false, "load -manifest and skip cells it already holds (the file must match this configuration)")
+		mergeSel   = flag.String("merge", "", "comma-separated shard manifests to union into -manifest, then exit")
 	)
 	flag.Parse()
-	var benches []string
-	if *benchSel != "" {
-		for _, b := range strings.Split(*benchSel, ",") {
-			if b = strings.TrimSpace(b); b != "" {
-				benches = append(benches, b)
+	splitList := func(s string) []string {
+		var out []string
+		for _, v := range strings.Split(s, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				out = append(out, v)
 			}
 		}
+		return out
 	}
+	benches := splitList(*benchSel)
 
 	start := time.Now()
 	any := false
@@ -67,20 +87,64 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Fail fast on a benchmark typo: at full scale a sweep runs for
+	// hours, and "unknown benchmark" must not surface after that.
+	if err := bmarks.Validate(benches); err != nil {
+		fail(err)
+	}
+
+	if *mergeSel != "" {
+		if *manifestP == "" {
+			fail(errors.New("-merge needs -manifest as the output path"))
+		}
+		if err := mergeShards(*manifestP, splitList(*mergeSel)); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	// interrupted reports a clean cancellation: completed cells are
+	// already flushed to the manifest, so a -resume run continues from
+	// exactly here. Exit code 130 mirrors shell convention for SIGINT.
+	interrupted := func(m *runmanifest.Manifest) {
+		if ctx.Err() == nil {
+			return
+		}
+		msg := "tables: interrupted"
+		if m != nil && m.Path() != "" {
+			msg = fmt.Sprintf("tables: interrupted; manifest flushed to %s (%d cells done) — rerun with -resume to continue",
+				m.Path(), m.Len())
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(130)
+	}
+
+	if *resume && *manifestP == "" {
+		fail(errors.New("-resume needs -manifest"))
+	}
+
 	if *all || *table == "1" || *table == "2" || *table == "f6" {
 		any = true
-		rows, err := flow.RunITC(flow.ITCOptions{
+		manifest, err := openManifest(*manifestP, *resume, runmanifest.Fingerprint{
+			Experiment: "itc",
+			Scale:      *scale, KeyBits: *keyBits, Patterns: *patterns, Seed: *seed,
+			SplitLayers: []int{4, 6},
+			Benchmarks:  benches,
+		})
+		if err != nil {
+			fail(err)
+		}
+		rows, err := flow.RunITC(ctx, flow.ITCOptions{
 			Benchmarks: benches,
 			Scale:      *scale, KeyBits: *keyBits, Patterns: *patterns,
 			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
 			SolverWorkers: *satWork,
+			JobTimeout:    *jobTimeout, Retries: *retries,
+			Manifest: manifest,
 		})
-		if err != nil {
-			// The error joins every failed benchmark×layer job in row
-			// order (rows annotate them individually), so nothing is
-			// silently dropped from the table.
-			fail(err)
-		}
+		interrupted(manifest)
 		if *all || *table == "1" {
 			printTableI(rows)
 		}
@@ -90,14 +154,21 @@ func main() {
 		if *all || *table == "f6" {
 			printFootnote6(rows)
 		}
+		if err != nil {
+			// The error joins every failed benchmark×layer job in row
+			// order (rows annotate them individually), so the partial
+			// table above never renders silently.
+			fail(err)
+		}
 	}
 	if *all || *table == "3" {
 		any = true
-		rows, err := flow.RunISCAS(flow.ISCASOptions{
+		rows, err := flow.RunISCAS(ctx, flow.ISCASOptions{
 			Benchmarks: benches,
 			KeyBits:    *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
 			SimWorkers: *simWork, SolverWorkers: *satWork,
 		})
+		interrupted(nil)
 		if err != nil {
 			fail(err)
 		}
@@ -105,10 +176,11 @@ func main() {
 	}
 	if *all || *fig == 5 {
 		any = true
-		rows, err := flow.RunFig5(flow.Fig5Options{
+		rows, err := flow.RunFig5(ctx, flow.Fig5Options{
 			Benchmarks: benches,
 			Scale:      *scale, KeyBits: *keyBits, Seed: *seed, Parallel: *parallel,
 		})
+		interrupted(nil)
 		if err != nil {
 			fail(err)
 		}
@@ -122,7 +194,8 @@ func main() {
 			idealBenches = bmarks.ITC99Names()
 		}
 		for _, b := range idealBenches {
-			res, err := flow.RunIdealAttack(b, *scale, *keyBits, *runs, 256, *seed)
+			res, err := flow.RunIdealAttack(ctx, b, *scale, *keyBits, *runs, 256, *seed)
+			interrupted(nil)
 			if err != nil {
 				fail(err)
 			}
@@ -135,6 +208,60 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// openManifest resolves the checkpoint for the Table I/II sweep: nil
+// when -manifest is unset, the loaded file under -resume (it must exist
+// and match the current configuration up to the benchmark axis), or a
+// fresh manifest otherwise.
+func openManifest(path string, resume bool, fp runmanifest.Fingerprint) (*runmanifest.Manifest, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if len(fp.Benchmarks) == 0 {
+		fp.Benchmarks = bmarks.ITC99Names()
+	}
+	if !resume {
+		return runmanifest.New(path, fp), nil
+	}
+	m, err := runmanifest.Load(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// First run of a sweep that plans to resume later.
+			return runmanifest.New(path, fp), nil
+		}
+		return nil, err
+	}
+	if cerr := fp.CompatibleWith(m.Fingerprint()); cerr != nil {
+		return nil, fmt.Errorf("manifest %s was written under a different configuration (%v); delete it or fix the flags", path, cerr)
+	}
+	fmt.Printf("resuming from %s: %d cells already complete\n", path, m.Len())
+	return m, nil
+}
+
+// mergeShards unions shard manifests (disjoint -benchmarks runs of one
+// sweep) into a single manifest at out, ready for a final -resume run.
+func mergeShards(out string, shardPaths []string) error {
+	if len(shardPaths) == 0 {
+		return errors.New("-merge lists no shard manifests")
+	}
+	shards := make([]*runmanifest.Manifest, len(shardPaths))
+	for i, p := range shardPaths {
+		m, err := runmanifest.Load(p)
+		if err != nil {
+			return err
+		}
+		shards[i] = m
+	}
+	merged := runmanifest.New(out, shards[0].Fingerprint())
+	if err := merged.Merge(shards...); err != nil {
+		return err
+	}
+	if err := merged.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d shards (%d cells) into %s\n", len(shards), merged.Len(), out)
+	return nil
 }
 
 func printTableI(rows []flow.ITCRow) {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,7 +13,7 @@ import (
 )
 
 func main() {
-	rows, err := flow.RunISCAS(flow.ISCASOptions{
+	rows, err := flow.RunISCAS(context.Background(), flow.ISCASOptions{
 		Benchmarks: []string{"c432", "c880"},
 		KeyBits:    128,
 		Patterns:   1 << 14,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	fmt.Printf("b14 @ scale %.2f: %s\n\n", scale, orig.ComputeStats())
 
 	for _, splitLayer := range []int{4, 6} {
-		art, err := flow.Run(orig, flow.Config{
+		art, err := flow.Run(context.Background(), orig, flow.Config{
 			KeyBits:     128,
 			SplitLayer:  splitLayer,
 			Seed:        14,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 
 	// 2. Run the secure flow: ATPG-based locking with 64 key bits,
 	//    randomized TIE cells, key-nets lifted above M4.
-	art, err := flow.Run(orig, flow.Config{KeyBits: 64, SplitLayer: 4, Seed: 42, UseATPGLock: true})
+	art, err := flow.Run(context.Background(), orig, flow.Config{KeyBits: 64, SplitLayer: 4, Seed: 42, UseATPGLock: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -271,12 +271,14 @@ func (g *Graph) Eval(leafWords, buf []uint64) {
 // Signatures bit-parallel simulates `words` 64-pattern words, sharding
 // the words across the engine worker pool; stim(leaf, word) supplies
 // the stimulus. The result is a flat array indexed [node*words+k] and
-// is bit-identical for any worker count.
-func (g *Graph) Signatures(words int, stim func(leaf, word int) uint64, opt engine.Options) []uint64 {
+// is bit-identical for any worker count. The error is non-nil only
+// when opt.Stop cut the run short; the signatures are then partial and
+// must be discarded.
+func (g *Graph) Signatures(words int, stim func(leaf, word int) uint64, opt engine.Options) ([]uint64, error) {
 	n := g.NumNodes()
 	sigs := make([]uint64, n*words)
 	type state struct{ leafW, buf []uint64 }
-	engine.Run(words, opt, func(int) *state {
+	_, err := engine.Run(words, opt, func(int) *state {
 		return &state{make([]uint64, g.NumLeaves()), make([]uint64, n)}
 	}, func(s *state, b engine.Batch) {
 		for k := b.Start; k < b.End; k++ {
@@ -289,7 +291,10 @@ func (g *Graph) Signatures(words int, stim func(leaf, word int) uint64, opt engi
 			}
 		}
 	})
-	return sigs
+	if err != nil {
+		return nil, err
+	}
+	return sigs, nil
 }
 
 // Cone marks the transitive fanin of the given literals (including

@@ -248,8 +248,14 @@ func TestSignaturesWorkerInvariant(t *testing.T) {
 	stim := func(leaf, k int) uint64 {
 		return uint64(leaf+1)*0x9e3779b97f4a7c15 ^ uint64(k)*0xbf58476d1ce4e5b9
 	}
-	serial := g.Signatures(16, stim, engine.Options{Workers: 1, Grain: 1})
-	parallel := g.Signatures(16, stim, engine.Options{Workers: 8, Grain: 1})
+	serial, err := g.Signatures(16, stim, engine.Options{Workers: 1, Grain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := g.Signatures(16, stim, engine.Options{Workers: 8, Grain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range serial {
 		if serial[i] != parallel[i] {
 			t.Fatalf("signature word %d differs between worker counts", i)

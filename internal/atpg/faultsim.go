@@ -77,7 +77,7 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 	// Pre-compute, per fault, the fanout cone in topological order;
 	// cone extraction is itself sharded (distinct indices per batch).
 	cones := make([][]netlist.GateID, len(faults))
-	engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: 16},
+	_, _ = engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: 16},
 		func(int) struct{} { return struct{}{} },
 		func(_ struct{}, b engine.Batch) {
 			for i := b.Start; i < b.End; i++ {
@@ -166,7 +166,7 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 		// of its faults are detected. Shards write disjoint ranges of
 		// the shared detection map.
 		grain := (len(faults) + workers - 1) / workers
-		engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: grain},
+		_, _ = engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: grain},
 			func(int) *fsState { return newState(detected) },
 			func(s *fsState, b engine.Batch) {
 				for w := 0; w < words; w++ {
@@ -186,7 +186,7 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 		// Pattern-sharded: every worker grades the full fault list over
 		// its word batches with a private detection map; the final map
 		// is the OR across workers.
-		states := engine.Run(words, engine.Options{Workers: opt.Workers},
+		states, _ := engine.Run(words, engine.Options{Workers: opt.Workers},
 			func(int) *fsState { return newState(make([]bool, len(faults))) },
 			func(s *fsState, b engine.Batch) {
 				for w := b.Start; w < b.End; w++ {

@@ -12,6 +12,7 @@ package bmarks
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/netlist"
 	"repro/internal/sim"
@@ -382,6 +383,18 @@ func ISCASNames() []string {
 // ITC99Names returns the Table I/II and Fig. 5 benchmark set.
 func ITC99Names() []string {
 	return []string{"b14", "b15", "b17", "b20", "b21", "b22"}
+}
+
+// Validate reports the first name not in the registry, listing the
+// valid set — callers can fail fast on a typo before hours of compute.
+func Validate(names []string) error {
+	for _, n := range names {
+		if _, ok := registry[n]; !ok {
+			return fmt.Errorf("bmarks: unknown benchmark %q (valid: %s)",
+				n, strings.Join(Names(), ", "))
+		}
+	}
+	return nil
 }
 
 // Load generates a registered benchmark at the given scale factor

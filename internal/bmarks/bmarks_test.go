@@ -1,6 +1,7 @@
 package bmarks
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/netlist"
@@ -131,5 +132,21 @@ func TestInvalidSpecRejected(t *testing.T) {
 		if _, err := Generate(spec); err == nil {
 			t.Errorf("spec %+v accepted", spec)
 		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(nil); err != nil {
+		t.Errorf("empty set rejected: %v", err)
+	}
+	if err := Validate(Names()); err != nil {
+		t.Errorf("full registry rejected: %v", err)
+	}
+	err := Validate([]string{"b14", "b99"})
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), `"b99"`) || !strings.Contains(err.Error(), "b14, b15") {
+		t.Errorf("error does not name the typo and the valid set: %v", err)
 	}
 }

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/attack"
 	"repro/internal/flow"
 	"repro/internal/lec"
@@ -39,7 +41,13 @@ type Assignment = attack.Assignment
 // ATPG-based locking with k key bits, TIE-cell randomization, key-net
 // lifting above the split layer, and the split itself.
 func Protect(design *netlist.Circuit, cfg Config) (*Protected, error) {
-	return flow.Run(design, cfg)
+	return flow.Run(context.Background(), design, cfg)
+}
+
+// ProtectContext is Protect with cancellation: the flow stops at the
+// next stage boundary (or mid-LEC) once ctx is done.
+func ProtectContext(ctx context.Context, design *netlist.Circuit, cfg Config) (*Protected, error) {
+	return flow.Run(ctx, design, cfg)
 }
 
 // Unlock performs the trusted-BEOL completion H(C(x1,x2), λ(x2)) and

@@ -12,10 +12,22 @@
 // Workers=1 path. Aggregates merged commutatively (integer sums, OR of
 // booleans) are therefore reproducible everywhere from a laptop to a
 // 128-core host.
+//
+// Fault model: a kernel or state-constructor panic on a worker is
+// recovered, wrapped in *PanicError with the worker goroutine's stack,
+// and re-raised on the goroutine that called Run — so callers isolate a
+// poisoned batch with an ordinary deferred recover at the job boundary
+// instead of losing the process. A stop flag (Options.Stop, typically
+// bridged from a context via WatchContext) makes Run return ErrStopped
+// between batches.
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -32,6 +44,54 @@ func (b Batch) Len() int { return b.End - b.Start }
 // handoff, small enough to load-balance uneven kernels.
 const DefaultGrain = 64
 
+// ErrStopped is returned by Run when Options.Stop was observed set
+// before all batches completed. The returned states are partial and
+// must not be merged into results.
+var ErrStopped = errors.New("engine: run stopped")
+
+// PanicError wraps a panic recovered from a worker goroutine so it can
+// cross the goroutine boundary with its original stack attached. Run
+// re-panics with a *PanicError on the calling goroutine; job-level
+// recovery (e.g. in flow) converts it to an error without losing the
+// stack of the worker that actually faulted.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking worker goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// AsPanicError extracts a *PanicError from a recovered panic value, if
+// it is one.
+func AsPanicError(v any) (*PanicError, bool) {
+	pe, ok := v.(*PanicError)
+	return pe, ok
+}
+
+// WatchContext bridges a context to the atomic stop flag convention
+// used across engine and sat: the returned flag is set when ctx is
+// done. The returned release function must be called (typically
+// deferred) to free the watcher goroutine; the flag remains valid — and
+// set, if ctx was done — after release.
+func WatchContext(ctx context.Context) (*atomic.Bool, func()) {
+	var flag atomic.Bool
+	if ctx == nil || ctx.Done() == nil {
+		return &flag, func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return &flag, func() { once.Do(func() { close(stop) }) }
+}
+
 // Options tunes a batch run.
 type Options struct {
 	// Workers caps the worker pool. <= 0 means GOMAXPROCS; 1 runs the
@@ -42,6 +102,10 @@ type Options struct {
 	// stream of kernels that seed per batch; keep it fixed when
 	// reproducibility across configurations matters.
 	Grain int
+	// Stop, when non-nil and set, makes workers stop claiming batches;
+	// Run then returns ErrStopped. Checked between batches, so stop
+	// latency is one kernel call. Run never clears the flag.
+	Stop *atomic.Bool
 }
 
 func (o Options) workers() int {
@@ -56,6 +120,10 @@ func (o Options) grain() int {
 		return o.Grain
 	}
 	return DefaultGrain
+}
+
+func (o Options) stopped() bool {
+	return o.Stop != nil && o.Stop.Load()
 }
 
 // Workers resolves the effective worker count for n items under opt.
@@ -83,26 +151,48 @@ func Workers(n int, opt Options) int {
 // all batches complete and returns the per-worker states for the
 // caller to merge.
 //
+// The error is non-nil only when Options.Stop cut the run short
+// (ErrStopped); the states are then partial and must be discarded. A
+// panic in newState or kernel is re-raised on the calling goroutine as
+// a *PanicError carrying the faulting worker's stack; the remaining
+// workers drain and exit first, so no goroutine outlives the call.
+//
 // Workers only ever read shared inputs, so callers must pre-build any
 // lazily cached structures (topological orders, fanout lists, compiled
 // evaluators) before calling Run.
-func Run[S any](n int, opt Options, newState func(worker int) S, kernel func(s S, b Batch)) []S {
+func Run[S any](n int, opt Options, newState func(worker int) S, kernel func(s S, b Batch)) ([]S, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
+	}
+	if opt.stopped() {
+		return nil, ErrStopped
 	}
 	grain := opt.grain()
 	workers := Workers(n, opt)
 
 	if workers == 1 {
+		// Wrap serial-path panics the same way as worker panics, so job
+		// boundaries see one panic shape regardless of worker count.
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(*PanicError); ok {
+					panic(v)
+				}
+				panic(&PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}()
 		s := newState(0)
 		for start := 0; start < n; start += grain {
+			if opt.stopped() {
+				return []S{s}, ErrStopped
+			}
 			end := start + grain
 			if end > n {
 				end = n
 			}
 			kernel(s, Batch{start, end})
 		}
-		return []S{s}
+		return []S{s}, nil
 	}
 
 	// Construct every state before launching any worker: newState may
@@ -112,15 +202,38 @@ func Run[S any](n int, opt Options, newState func(worker int) S, kernel func(s S
 	for w := 0; w < workers; w++ {
 		states[w] = newState(w)
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next       atomic.Int64
+		wg         sync.WaitGroup
+		abort      atomic.Bool // set on first worker panic
+		stopped    atomic.Bool // set when a worker observed Stop with work left
+		firstPanic atomic.Pointer[PanicError]
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(s S) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pe := &PanicError{Value: v, Stack: debug.Stack()}
+					firstPanic.CompareAndSwap(nil, pe)
+					abort.Store(true)
+				}
+			}()
 			for {
 				start := int(next.Add(int64(grain))) - grain
 				if start >= n {
+					return
+				}
+				// Check after claiming: a claim that raced past the flag
+				// is skipped here, so a stop with batches remaining is
+				// always detected, and a stop that lands after the last
+				// claim is not misreported.
+				if abort.Load() {
+					return
+				}
+				if opt.stopped() {
+					stopped.Store(true)
 					return
 				}
 				end := start + grain
@@ -132,5 +245,11 @@ func Run[S any](n int, opt Options, newState func(worker int) S, kernel func(s S
 		}(states[w])
 	}
 	wg.Wait()
-	return states
+	if pe := firstPanic.Load(); pe != nil {
+		panic(pe)
+	}
+	if stopped.Load() {
+		return states, ErrStopped
+	}
+	return states, nil
 }

@@ -1,8 +1,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCoversRangeExactlyOnce(t *testing.T) {
@@ -10,7 +15,7 @@ func TestRunCoversRangeExactlyOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 3, 7, 16} {
 		var mu sync.Mutex
 		seen := make([]int, n)
-		Run(n, Options{Workers: workers, Grain: 13},
+		_, err := Run(n, Options{Workers: workers, Grain: 13},
 			func(int) struct{} { return struct{}{} },
 			func(_ struct{}, b Batch) {
 				if b.Start < 0 || b.End > n || b.Start >= b.End {
@@ -22,6 +27,9 @@ func TestRunCoversRangeExactlyOnce(t *testing.T) {
 				}
 				mu.Unlock()
 			})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i, c := range seen {
 			if c != 1 {
 				t.Fatalf("workers=%d: item %d processed %d times", workers, i, c)
@@ -63,7 +71,7 @@ func TestRunDeterministicSum(t *testing.T) {
 	// to the same total for every worker count.
 	const n = 10_000
 	sum := func(workers int) int {
-		states := Run(n, Options{Workers: workers},
+		states, _ := Run(n, Options{Workers: workers},
 			func(int) *int { return new(int) },
 			func(s *int, b Batch) {
 				for i := b.Start; i < b.End; i++ {
@@ -88,7 +96,7 @@ func TestRunPerWorkerStateIsolation(t *testing.T) {
 	// Each state must only ever be touched by one goroutine; a counter
 	// per state summed over states equals n without any locking.
 	const n = 4096
-	states := Run(n, Options{Workers: 8, Grain: 5},
+	states, _ := Run(n, Options{Workers: 8, Grain: 5},
 		func(int) *int { return new(int) },
 		func(s *int, b Batch) { *s += b.Len() })
 	total := 0
@@ -101,10 +109,10 @@ func TestRunPerWorkerStateIsolation(t *testing.T) {
 }
 
 func TestRunEmptyAndTiny(t *testing.T) {
-	if states := Run(0, Options{}, func(int) int { return 0 }, func(int, Batch) {}); states != nil {
+	if states, _ := Run(0, Options{}, func(int) int { return 0 }, func(int, Batch) {}); states != nil {
 		t.Fatalf("n=0 returned states %v", states)
 	}
-	states := Run(1, Options{Workers: 8},
+	states, _ := Run(1, Options{Workers: 8},
 		func(int) *int { return new(int) },
 		func(s *int, b Batch) { *s += b.Len() })
 	if len(states) != 1 || *states[0] != 1 {
@@ -121,5 +129,139 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if w := Workers(0, Options{Workers: 4}); w != 1 {
 		t.Fatalf("n=0 must resolve to 1 worker, got %d", w)
+	}
+}
+
+func TestRunStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var stop atomic.Bool
+		var done atomic.Int64
+		_, err := Run(10_000, Options{Workers: workers, Grain: 1, Stop: &stop},
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, b Batch) {
+				if done.Add(1) == 5 {
+					stop.Store(true)
+				}
+			})
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("workers=%d: err = %v, want ErrStopped", workers, err)
+		}
+		// Each in-flight worker may finish the batch it already claimed,
+		// but no new batches start after the flag is set.
+		if n := done.Load(); n > int64(5+workers) {
+			t.Fatalf("workers=%d: %d batches ran after stop", workers, n)
+		}
+	}
+}
+
+func TestRunStopPreSet(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	ran := false
+	_, err := Run(100, Options{Stop: &stop},
+		func(int) struct{} { return struct{}{} },
+		func(struct{}, Batch) { ran = true })
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran {
+		t.Fatal("kernel ran despite pre-set stop flag")
+	}
+}
+
+func TestRunStopAfterCompletionNotReported(t *testing.T) {
+	// A stop flag set after every batch has been claimed must not turn a
+	// complete run into ErrStopped (results would be discarded wrongly).
+	var stop atomic.Bool
+	var done atomic.Int64
+	const n = 64
+	_, err := Run(n, Options{Workers: 4, Grain: 1, Stop: &stop},
+		func(int) struct{} { return struct{}{} },
+		func(_ struct{}, b Batch) {
+			if done.Add(1) == n {
+				stop.Store(true)
+			}
+		})
+	if err != nil {
+		t.Fatalf("complete run reported %v", err)
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				pe, ok := AsPanicError(v)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, v)
+				}
+				if pe.Value != "boom" {
+					t.Errorf("workers=%d: panic value %v, want boom", workers, pe.Value)
+				}
+				if !strings.Contains(string(pe.Stack), "TestRunPanicIsolation") {
+					t.Errorf("workers=%d: stack does not show the faulting kernel:\n%s", workers, pe.Stack)
+				}
+			}()
+			Run(1000, Options{Workers: workers, Grain: 1},
+				func(int) struct{} { return struct{}{} },
+				func(_ struct{}, b Batch) {
+					if b.Start == 37 {
+						panic("boom")
+					}
+				})
+		}()
+	}
+}
+
+func TestRunPanicLeavesNoGoroutines(t *testing.T) {
+	// After a worker panic, Run must drain the surviving workers before
+	// re-panicking: the kernel below would race on `left` if any worker
+	// outlived the call.
+	var left atomic.Int64
+	func() {
+		defer func() { recover() }()
+		Run(10_000, Options{Workers: 8, Grain: 1},
+			func(int) struct{} { return struct{}{} },
+			func(_ struct{}, b Batch) {
+				left.Add(1)
+				if b.Start == 0 {
+					panic("die")
+				}
+				time.Sleep(10 * time.Microsecond)
+				left.Add(-1)
+			})
+	}()
+	if got := left.Load(); got != 1 {
+		t.Fatalf("in-flight kernels after Run returned: %d, want 1 (the panicked one)", got)
+	}
+}
+
+func TestWatchContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	flag, release := WatchContext(ctx)
+	defer release()
+	if flag.Load() {
+		t.Fatal("flag set before cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("flag never set after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release() // second release is fine
+}
+
+func TestWatchContextBackground(t *testing.T) {
+	flag, release := WatchContext(context.Background())
+	defer release()
+	if flag.Load() {
+		t.Fatal("background context flagged as done")
 	}
 }

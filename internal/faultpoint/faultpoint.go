@@ -1,0 +1,165 @@
+// Package faultpoint is a tiny fault-injection registry for testing
+// crash-safety. Production code marks interesting execution points with
+// Hit("name"); tests (or the REPRO_FAULTPOINTS environment variable, for
+// driving a built binary from CI) attach actions — panics, stalls,
+// process exits, file truncation — to those names. With nothing
+// registered, Hit is a single atomic load, so instrumented hot paths pay
+// effectively nothing in production.
+//
+// Registered points are global: tests that arm points must not run in
+// parallel with each other and should defer Reset().
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	armed  atomic.Int32 // registered-point count; 0 = Hit is a no-op
+	mu     sync.Mutex
+	points map[string]func()
+)
+
+func init() {
+	if spec := os.Getenv("REPRO_FAULTPOINTS"); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultpoint: REPRO_FAULTPOINTS: %v\n", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// Hit invokes the action registered for name, if any. Safe for
+// concurrent use; when no point is armed it costs one atomic load.
+func Hit(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	hitSlow(name)
+}
+
+func hitSlow(name string) {
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set registers action fn for point name, replacing any previous
+// action. The action runs on the goroutine that calls Hit.
+func Set(name string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]func())
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = fn
+}
+
+// Clear removes the action registered for name, if any.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset removes every registered action.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	armed.Store(0)
+}
+
+// After wraps fn so that only the n-th call (1-based) triggers it;
+// earlier and later calls are no-ops. Useful for firing once at a
+// specific point of a sweep.
+func After(n int, fn func()) func() {
+	var count atomic.Int64
+	return func() {
+		if count.Add(1) == int64(n) {
+			fn()
+		}
+	}
+}
+
+// Arm parses a specification string and registers the described
+// actions. The grammar, designed for the REPRO_FAULTPOINTS environment
+// variable, is a semicolon-separated list of
+//
+//	name:action          fire on every Hit(name)
+//	name:after=N:action  fire on the N-th Hit(name) only
+//
+// with action one of
+//
+//	panic          panic("faultpoint: <name>")
+//	exit=CODE      os.Exit(CODE) — a deterministic stand-in for SIGKILL
+//	stall=DUR      time.Sleep(DUR), e.g. stall=500ms
+func Arm(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, ":", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return fmt.Errorf("bad entry %q (want name:action)", entry)
+		}
+		name, rest := parts[0], parts[1]
+		after := 0
+		if n, ok := strings.CutPrefix(rest, "after="); ok {
+			np := strings.SplitN(n, ":", 2)
+			if len(np) != 2 {
+				return fmt.Errorf("bad entry %q (want name:after=N:action)", entry)
+			}
+			v, err := strconv.Atoi(np[0])
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad after count in %q", entry)
+			}
+			after, rest = v, np[1]
+		}
+		fn, err := parseAction(name, rest)
+		if err != nil {
+			return err
+		}
+		if after > 0 {
+			fn = After(after, fn)
+		}
+		Set(name, fn)
+	}
+	return nil
+}
+
+func parseAction(name, action string) (func(), error) {
+	switch {
+	case action == "panic":
+		return func() { panic("faultpoint: " + name) }, nil
+	case strings.HasPrefix(action, "exit="):
+		code, err := strconv.Atoi(strings.TrimPrefix(action, "exit="))
+		if err != nil {
+			return nil, fmt.Errorf("bad exit code in %q", action)
+		}
+		return func() { os.Exit(code) }, nil
+	case strings.HasPrefix(action, "stall="):
+		d, err := time.ParseDuration(strings.TrimPrefix(action, "stall="))
+		if err != nil {
+			return nil, fmt.Errorf("bad stall duration in %q", action)
+		}
+		return func() { time.Sleep(d) }, nil
+	}
+	return nil, fmt.Errorf("unknown action %q", action)
+}

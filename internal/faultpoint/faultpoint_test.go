@@ -1,0 +1,103 @@
+package faultpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitDisarmedIsNoop(t *testing.T) {
+	defer Reset()
+	Hit("nothing.registered") // must not panic or block
+}
+
+func TestSetHitClear(t *testing.T) {
+	defer Reset()
+	n := 0
+	Set("p", func() { n++ })
+	Hit("p")
+	Hit("p")
+	if n != 2 {
+		t.Fatalf("action ran %d times, want 2", n)
+	}
+	Clear("p")
+	Hit("p")
+	if n != 2 {
+		t.Fatalf("action ran after Clear: %d", n)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after Clear, want 0", armed.Load())
+	}
+}
+
+func TestAfterFiresOnce(t *testing.T) {
+	defer Reset()
+	n := 0
+	Set("p", After(3, func() { n++ }))
+	for i := 0; i < 10; i++ {
+		Hit("p")
+	}
+	if n != 1 {
+		t.Fatalf("After(3) fired %d times over 10 hits, want 1", n)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	if err := Arm("a:panic; b:after=2:stall=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("armed panic action did not panic")
+			}
+		}()
+		Hit("a")
+	}()
+	start := time.Now()
+	Hit("b") // first hit: no-op
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("first hit stalled (%v); want after=2 to skip it", d)
+	}
+	Hit("b") // second hit: stalls 1ms
+}
+
+func TestArmBadSpecs(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"noaction",
+		"a:bogus",
+		"a:exit=x",
+		"a:stall=zzz",
+		"a:after=0:panic",
+		"a:after=1",
+		":panic",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) succeeded, want error", spec)
+		}
+		Reset()
+	}
+}
+
+func TestHitConcurrent(t *testing.T) {
+	defer Reset()
+	var mu sync.Mutex
+	n := 0
+	Set("p", func() { mu.Lock(); n++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Hit("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 800 {
+		t.Fatalf("concurrent hits ran %d actions, want 800", n)
+	}
+}

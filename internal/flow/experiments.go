@@ -1,9 +1,11 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -11,10 +13,12 @@ import (
 	"repro/internal/bmarks"
 	"repro/internal/defense"
 	"repro/internal/engine"
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/runmanifest"
 	"repro/internal/sim"
 	"repro/internal/split"
 )
@@ -31,8 +35,11 @@ type SplitResult struct {
 	// HD and OER compare the attack-recovered netlist against the
 	// original (Table II), as fractions.
 	HD, OER float64
-	// Runtime is the flow wall-clock time.
-	Runtime time.Duration
+	// Runtime is the flow wall-clock time. It is excluded from the run
+	// manifest: checkpointed cells must hold only deterministic fields,
+	// both so resumed tables are byte-identical and so Merge can detect
+	// genuinely conflicting shards by payload comparison.
+	Runtime time.Duration `json:"-"`
 }
 
 // ITCRow is one benchmark's results across both split layers.
@@ -70,6 +77,23 @@ type ITCOptions struct {
 	// SolverWorkers is passed to every job's flow.Config: LEC SAT
 	// queries race that many portfolio members (0/1 = single solver).
 	SolverWorkers int
+	// JobTimeout bounds each benchmark×layer job; a job that exceeds it
+	// is cancelled and recorded on its row's Errors map, and the other
+	// cells keep running. 0 means no per-job deadline. Jobs that finish
+	// under the deadline are bit-identical to an unbounded run.
+	JobTimeout time.Duration
+	// Retries re-runs a failed job up to this many extra times with
+	// doubling backoff before recording the error. Parent-context
+	// cancellation and deadline expiry are never retried.
+	Retries int
+	// RetryBackoff is the delay before the first retry (doubling after
+	// each attempt; default 250ms).
+	RetryBackoff time.Duration
+	// Manifest, when non-nil, checkpoints every completed cell (and is
+	// consulted first, so cells already present are not recomputed).
+	// Each completed cell is flushed to disk immediately, making the
+	// run resumable after a crash or kill.
+	Manifest *runmanifest.Manifest
 }
 
 func (o ITCOptions) withDefaults() ITCOptions {
@@ -91,12 +115,23 @@ func (o ITCOptions) withDefaults() ITCOptions {
 	return o
 }
 
+// ITCCellKey names one benchmark×layer cell as it appears in manifest
+// files and error reports ("b14/M4").
+func ITCCellKey(bench string, splitLayer int) string {
+	return fmt.Sprintf("%s/M%d", bench, splitLayer)
+}
+
 // RunITC regenerates Tables I and II (and the footnote 6 numbers).
 // Every benchmark×layer job that fails is recorded on its row's Errors
 // map and included in the returned error (the rows are returned either
 // way, so callers can render the successful cells alongside an explicit
-// failure report instead of a silently partial table).
-func RunITC(opt ITCOptions) ([]ITCRow, error) {
+// failure report instead of a silently partial table). A job failure —
+// an error, a panic inside the job, or a blown JobTimeout — never
+// poisons sibling cells. Cancelling ctx stops issuing new jobs, cancels
+// running ones at the next solver/simulation step, and returns ctx's
+// error joined with any cell failures; interrupted cells are simply
+// absent (not recorded as failures), so a resumed run recomputes them.
+func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 	opt = opt.withDefaults()
 	rows := make([]ITCRow, len(opt.Benchmarks))
 	type job struct{ bi, layer int }
@@ -104,16 +139,34 @@ func RunITC(opt ITCOptions) ([]ITCRow, error) {
 	for bi := range opt.Benchmarks {
 		rows[bi] = ITCRow{Benchmark: opt.Benchmarks[bi], Results: make(map[int]SplitResult)}
 		for _, sl := range opt.SplitLayers {
+			if opt.Manifest != nil {
+				var res SplitResult
+				if ok, err := opt.Manifest.Get(ITCCellKey(opt.Benchmarks[bi], sl), &res); err == nil && ok {
+					rows[bi].Results[sl] = res
+					continue // checkpointed: skip recompute
+				}
+			}
 			jobs = append(jobs, job{bi, sl})
 		}
 	}
 	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(jobs))
 	var mu sync.Mutex
+	var manifestErr error
 	run := func(j job) {
-		res, err := runOneITC(opt.Benchmarks[j.bi], j.layer, opt)
+		if ctx.Err() != nil {
+			return
+		}
+		bench := opt.Benchmarks[j.bi]
+		res, err := runITCJob(ctx, bench, j.layer, opt)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
+			if ctx.Err() != nil {
+				// Interrupted, not failed: leave the cell absent so a
+				// resumed run recomputes it. ctx.Err() is joined into
+				// the returned error below.
+				return
+			}
 			if rows[j.bi].Errors == nil {
 				rows[j.bi].Errors = make(map[int]error)
 			}
@@ -121,6 +174,17 @@ func RunITC(opt ITCOptions) ([]ITCRow, error) {
 			return
 		}
 		rows[j.bi].Results[j.layer] = res
+		if opt.Manifest != nil {
+			key := ITCCellKey(bench, j.layer)
+			if err := opt.Manifest.Put(key, res); err != nil {
+				if manifestErr == nil {
+					manifestErr = fmt.Errorf("checkpoint %s: %w", key, err)
+				}
+			} else if err := opt.Manifest.Flush(); err != nil && manifestErr == nil {
+				manifestErr = fmt.Errorf("checkpoint %s: %w", key, err)
+			}
+		}
+		faultpoint.Hit("flow.itc.cell.done")
 	}
 	if opt.Parallel {
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -145,19 +209,83 @@ func RunITC(opt ITCOptions) ([]ITCRow, error) {
 	for bi := range rows {
 		for _, sl := range opt.SplitLayers {
 			if err, ok := rows[bi].Errors[sl]; ok {
-				errs = append(errs, fmt.Errorf("%s/M%d: %w", rows[bi].Benchmark, sl, err))
+				errs = append(errs, fmt.Errorf("%s: %w", ITCCellKey(rows[bi].Benchmark, sl), err))
 			}
 		}
+	}
+	if manifestErr != nil {
+		errs = append(errs, manifestErr)
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
 	return rows, errors.Join(errs...)
 }
 
-func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error) {
+// runITCJob wraps one cell with the robustness policy: panic isolation,
+// an optional per-job deadline, and bounded-backoff retries for
+// transient failures. Cancellation of the parent context is returned
+// as-is and never retried.
+func runITCJob(ctx context.Context, bench string, layer int, opt ITCOptions) (SplitResult, error) {
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	var res SplitResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = runOneITCIsolated(ctx, bench, layer, opt)
+		if err == nil || attempt >= opt.Retries || ctx.Err() != nil {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return res, err
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// runOneITCIsolated runs one cell under its own deadline and converts a
+// panic anywhere inside the job — including one recovered from an
+// engine worker goroutine — into an error carrying the panicking
+// goroutine's stack.
+func runOneITCIsolated(ctx context.Context, bench string, layer int, opt ITCOptions) (res SplitResult, err error) {
+	jobCtx := ctx
+	if opt.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, opt.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			if pe, ok := engine.AsPanicError(v); ok {
+				err = fmt.Errorf("job panicked: %v\n%s", pe.Value, pe.Stack)
+			} else {
+				err = fmt.Errorf("job panicked: %v\n%s", v, debug.Stack())
+			}
+			res = SplitResult{}
+		}
+	}()
+	res, err = runOneITC(jobCtx, bench, layer, opt)
+	if err != nil && jobCtx.Err() != nil && ctx.Err() == nil {
+		err = fmt.Errorf("job exceeded -jobtimeout %v: %w", opt.JobTimeout, err)
+	}
+	return res, err
+}
+
+func runOneITC(ctx context.Context, bench string, splitLayer int, opt ITCOptions) (SplitResult, error) {
+	faultpoint.Hit("flow.itc.run")
+	faultpoint.Hit("flow.itc.run:" + ITCCellKey(bench, splitLayer))
+	if err := ctx.Err(); err != nil {
+		return SplitResult{}, err
+	}
 	orig, err := bmarks.Load(bench, opt.Scale)
 	if err != nil {
 		return SplitResult{}, err
 	}
-	art, err := Run(orig, Config{
+	art, err := Run(ctx, orig, Config{
 		KeyBits:       opt.KeyBits,
 		SplitLayer:    splitLayer,
 		Seed:          opt.Seed + uint64(splitLayer)*1000,
@@ -177,12 +305,18 @@ func runOneITC(bench string, splitLayer int, opt ITCOptions) (SplitResult, error
 		return SplitResult{}, err
 	}
 	res.CCR = metrics.ComputeCCR(art.View, art.Secret, asg)
+	stop, release := engine.WatchContext(ctx)
+	defer release()
 	d, err := metrics.FunctionalOpt(orig, art.View, asg, sim.CompareOptions{
 		Patterns: opt.Patterns,
 		Seed:     opt.Seed + 8,
 		Workers:  opt.SimWorkers,
+		Stop:     stop,
 	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return SplitResult{}, cerr
+		}
 		return SplitResult{}, err
 	}
 	res.HD, res.OER = d.HD, d.OER
@@ -263,15 +397,19 @@ func splitSimWorkers(simWorkers int, parallel bool, jobs int) int {
 }
 
 // RunISCAS regenerates Table III: the three prior-art defenses and the
-// proposed scheme, each attacked with the proximity attack.
-func RunISCAS(opt ISCASOptions) ([]ISCASRow, error) {
+// proposed scheme, each attacked with the proximity attack. Cancelling
+// ctx stops issuing new benchmarks and interrupts running ones.
+func RunISCAS(ctx context.Context, opt ISCASOptions) ([]ISCASRow, error) {
 	opt = opt.withDefaults()
 	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(opt.Benchmarks))
 	rows := make([]ISCASRow, len(opt.Benchmarks))
 	var firstErr error
 	var mu sync.Mutex
 	work := func(bi int) {
-		row, err := runOneISCAS(opt.Benchmarks[bi], opt)
+		if ctx.Err() != nil {
+			return
+		}
+		row, err := runOneISCAS(ctx, opt.Benchmarks[bi], opt)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
@@ -292,11 +430,16 @@ func RunISCAS(opt ISCASOptions) ([]ISCASRow, error) {
 			work(bi)
 		}
 	}
+	if err := ctx.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return rows, firstErr
 }
 
-func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
+func runOneISCAS(ctx context.Context, bench string, opt ISCASOptions) (ISCASRow, error) {
 	row := ISCASRow{Benchmark: bench, Schemes: make(map[string]SchemeResult)}
+	stop, release := engine.WatchContext(ctx)
+	defer release()
 	orig, err := bmarks.Load(bench, 1.0)
 	if err != nil {
 		return row, err
@@ -329,6 +472,7 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 			Patterns: opt.Patterns,
 			Seed:     opt.Seed + 6,
 			Workers:  opt.SimWorkers,
+			Stop:     stop,
 		})
 		if err != nil {
 			return row, err
@@ -342,7 +486,7 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 	}
 	// Proposed: the full SplitLock flow; CCR reports the key-nets'
 	// physical CCR (Table III note).
-	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9,
+	art, err := Run(ctx, orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9,
 		UseATPGLock: true, SolverWorkers: opt.SolverWorkers})
 	if err != nil {
 		return row, err
@@ -356,6 +500,7 @@ func runOneISCAS(bench string, opt ISCASOptions) (ISCASRow, error) {
 		Patterns: opt.Patterns,
 		Seed:     opt.Seed + 6,
 		Workers:  opt.SimWorkers,
+		Stop:     stop,
 	})
 	if err != nil {
 		return row, err
@@ -405,14 +550,18 @@ func (o Fig5Options) withDefaults() Fig5Options {
 	return o
 }
 
-// RunFig5 regenerates the Fig. 5 layout cost study.
-func RunFig5(opt Fig5Options) ([]Fig5Row, error) {
+// RunFig5 regenerates the Fig. 5 layout cost study. Cancelling ctx
+// stops issuing new benchmarks and interrupts running flows.
+func RunFig5(ctx context.Context, opt Fig5Options) ([]Fig5Row, error) {
 	opt = opt.withDefaults()
 	rows := make([]Fig5Row, len(opt.Benchmarks))
 	var firstErr error
 	var mu sync.Mutex
 	work := func(bi int) {
-		row, err := runOneFig5(opt.Benchmarks[bi], opt)
+		if ctx.Err() != nil {
+			return
+		}
+		row, err := runOneFig5(ctx, opt.Benchmarks[bi], opt)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
@@ -433,17 +582,23 @@ func RunFig5(opt Fig5Options) ([]Fig5Row, error) {
 			work(bi)
 		}
 	}
+	if err := ctx.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return rows, firstErr
 }
 
-func runOneFig5(bench string, opt Fig5Options) (Fig5Row, error) {
+func runOneFig5(ctx context.Context, bench string, opt Fig5Options) (Fig5Row, error) {
 	row := Fig5Row{Benchmark: bench}
 	orig, err := bmarks.Load(bench, opt.Scale)
 	if err != nil {
 		return row, err
 	}
-	art, err := Run(orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 11, UseATPGLock: true})
+	art, err := Run(ctx, orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 11, UseATPGLock: true})
 	if err != nil {
+		return row, err
+	}
+	if err := ctx.Err(); err != nil {
 		return row, err
 	}
 	base, err := MeasurePPA(art, VariantBaseline)
@@ -498,14 +653,15 @@ func (r IdealAttackResult) OERPercent() float64 {
 // times (the paper uses 1,000,000). Runs are sharded across the engine
 // worker pool — each worker mutates its own clone of the recovered
 // netlist — and every run is independently seeded, so the tallies do
-// not depend on the worker count.
-func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, seed uint64) (IdealAttackResult, error) {
+// not depend on the worker count. Cancelling ctx drains the pool and
+// returns the context's error.
+func RunIdealAttack(ctx context.Context, bench string, scale float64, keyBits, runs, patterns int, seed uint64) (IdealAttackResult, error) {
 	res := IdealAttackResult{Runs: runs}
 	orig, err := bmarks.Load(bench, scale)
 	if err != nil {
 		return res, err
 	}
-	art, err := Run(orig, Config{KeyBits: keyBits, SplitLayer: 4, Seed: seed, UseATPGLock: true})
+	art, err := Run(ctx, orig, Config{KeyBits: keyBits, SplitLayer: 4, Seed: seed, UseATPGLock: true})
 	if err != nil {
 		return res, err
 	}
@@ -540,7 +696,9 @@ func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, se
 		err               error
 		errRun            int
 	}
-	states := engine.Run(runs, engine.Options{},
+	stop, release := engine.WatchContext(ctx)
+	defer release()
+	states, runErr := engine.Run(runs, engine.Options{Stop: stop},
 		func(worker int) *iaState {
 			s := &iaState{rec: rec, errRun: -1}
 			if worker > 0 {
@@ -587,6 +745,12 @@ func RunIdealAttack(bench string, scale float64, keyBits, runs, patterns int, se
 			}
 		})
 
+	if runErr != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		return res, runErr
+	}
 	firstErr, firstErrRun := error(nil), -1
 	for _, s := range states {
 		res.ErrRuns += s.errRuns

@@ -15,9 +15,11 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/lec"
 	"repro/internal/locking"
@@ -102,10 +104,18 @@ type Artifacts struct {
 	Runtime time.Duration
 }
 
-// Run executes the complete secure flow on a design.
-func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
+// Run executes the complete secure flow on a design. Cancelling ctx
+// stops the flow at the next stage boundary — and, inside the LEC
+// stage, at solver/simulation granularity — returning the context's
+// error. A run that completes before cancellation is unaffected, so
+// deterministic results stay bit-identical under deadlines that never
+// fire.
+func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// --- Synthesis stage ---
 	var lk *locking.Locked
@@ -125,8 +135,14 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flow: locking: %w", err)
 	}
-	lecStats, err := verifyEquivalence(orig, lk.Circuit, cfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lecStats, err := verifyEquivalence(ctx, orig, lk.Circuit, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -139,6 +155,9 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: placement: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	routes, err := route.RouteAll(lay, route.Options{
 		SplitLayer:  cfg.SplitLayer,
@@ -168,8 +187,13 @@ func Run(orig *netlist.Circuit, cfg Config) (*Artifacts, error) {
 
 // verifyEquivalence is the Fig. 3 LEC step: full SAT-based equivalence
 // for small designs, heavy random simulation for large ones. For the
-// SAT path it returns the checker's structural statistics.
-func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, error) {
+// SAT path it returns the checker's structural statistics. The context
+// is bridged into the checker's stop flag, so cancellation reaches
+// down to individual solver conflict-loop iterations and simulation
+// batches — the two places a flow can spend minutes.
+func verifyEquivalence(ctx context.Context, orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, error) {
+	stop, release := engine.WatchContext(ctx)
+	defer release()
 	if orig.NumGates() <= cfg.LECGateLimit {
 		res, err := lec.Check(orig, locked, lec.Options{
 			Seed:              cfg.Seed,
@@ -180,8 +204,12 @@ func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, e
 			// and worker count, so the flow always takes the
 			// deterministic portfolio schedule.
 			PortfolioDeterministic: true,
+			Stop:                   stop,
 		})
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("flow: LEC: %w", err)
 		}
 		if !res.Equivalent {
@@ -189,8 +217,13 @@ func verifyEquivalence(orig, locked *netlist.Circuit, cfg Config) (*lec.Stats, e
 		}
 		return &res.Stats, nil
 	}
-	eq, err := sim.Equivalent(orig, locked, 1<<16, cfg.Seed)
+	eq, err := sim.EquivalentOpt(orig, locked, sim.CompareOptions{
+		Patterns: 1 << 16, Seed: cfg.Seed, Stop: stop,
+	})
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("flow: equivalence simulation: %w", err)
 	}
 	if !eq {

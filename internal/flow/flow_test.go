@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bmarks"
@@ -12,7 +13,7 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, err := Run(orig, Config{KeyBits: 32, SplitLayer: 4, Seed: 1, UseATPGLock: true})
+	art, err := Run(context.Background(), orig, Config{KeyBits: 32, SplitLayer: 4, Seed: 1, UseATPGLock: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRunRandomLockVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, err := Run(orig, Config{KeyBits: 16, SplitLayer: 6, Seed: 2, UseATPGLock: false})
+	art, err := Run(context.Background(), orig, Config{KeyBits: 16, SplitLayer: 6, Seed: 2, UseATPGLock: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestMeasurePPAVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, err := Run(orig, Config{KeyBits: 32, SplitLayer: 4, Seed: 3, UseATPGLock: true})
+	art, err := Run(context.Background(), orig, Config{KeyBits: 32, SplitLayer: 4, Seed: 3, UseATPGLock: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestMeasurePPAVariants(t *testing.T) {
 }
 
 func TestRunITCSmall(t *testing.T) {
-	rows, err := RunITC(ITCOptions{
+	rows, err := RunITC(context.Background(), ITCOptions{
 		Benchmarks: []string{"b14"},
 		Scale:      0.03,
 		KeyBits:    48,
@@ -130,7 +131,7 @@ func TestRunITCSmall(t *testing.T) {
 // returned error — never as a silently absent table cell.
 func TestRunITCAnnotatesFailedJobs(t *testing.T) {
 	for _, parallel := range []bool{false, true} {
-		rows, err := RunITC(ITCOptions{
+		rows, err := RunITC(context.Background(), ITCOptions{
 			Benchmarks: []string{"no_such_bench", "b14"},
 			Scale:      0.03,
 			KeyBits:    48,
@@ -170,7 +171,7 @@ func TestRunITCAnnotatesFailedJobs(t *testing.T) {
 // The simulation worker pool must not change any reported metric.
 func TestRunITCSimWorkerInvariance(t *testing.T) {
 	run := func(workers int) []ITCRow {
-		rows, err := RunITC(ITCOptions{
+		rows, err := RunITC(context.Background(), ITCOptions{
 			Benchmarks: []string{"b14"},
 			Scale:      0.02,
 			KeyBits:    32,
@@ -196,7 +197,7 @@ func TestRunITCSimWorkerInvariance(t *testing.T) {
 }
 
 func TestRunIdealAttackSmall(t *testing.T) {
-	res, err := RunIdealAttack("b14", 0.02, 32, 50, 256, 5)
+	res, err := RunIdealAttack(context.Background(), "b14", 0.02, 32, 50, 256, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +218,11 @@ func TestRunIdealAttackSmall(t *testing.T) {
 // seeded. This is also the -race coverage for the worker-cloned
 // netlists.
 func TestRunIdealAttackWorkerDeterminism(t *testing.T) {
-	first, err := RunIdealAttack("b14", 0.02, 16, 200, 128, 8)
+	first, err := RunIdealAttack(context.Background(), "b14", 0.02, 16, 200, 128, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := RunIdealAttack("b14", 0.02, 16, 200, 128, 8)
+	second, err := RunIdealAttack(context.Background(), "b14", 0.02, 16, 200, 128, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,204 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultpoint"
+	"repro/internal/runmanifest"
+)
+
+// robustITCOpts is the smallest configuration that exercises the full
+// benchmark×layer sweep quickly.
+func robustITCOpts() ITCOptions {
+	return ITCOptions{
+		Benchmarks: []string{"b14"},
+		Scale:      0.03,
+		KeyBits:    48,
+		Patterns:   1 << 10,
+		Seed:       4,
+	}
+}
+
+// TestRunITCPanicIsolation: a panic inside one benchmark×layer job must
+// become that cell's error — carrying the panic message — while sibling
+// cells complete normally, and the joined error must name the cell.
+func TestRunITCPanicIsolation(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Set("flow.itc.run:b14/M4", func() { panic("injected fault") })
+
+	rows, err := RunITC(context.Background(), robustITCOpts())
+	if err == nil {
+		t.Fatal("panicking job did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "b14/M4") {
+		t.Errorf("joined error does not name the failed cell: %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Errorf("joined error lost the panic message: %v", err)
+	}
+	cellErr := rows[0].Errors[4]
+	if cellErr == nil || !strings.Contains(cellErr.Error(), "panicked") {
+		t.Errorf("cell error does not record the panic: %v", cellErr)
+	}
+	if _, ok := rows[0].Results[6]; !ok {
+		t.Error("sibling cell b14/M6 was poisoned by the panic")
+	}
+	if _, ok := rows[0].Results[4]; ok {
+		t.Error("panicked cell still produced a result")
+	}
+}
+
+// TestRunITCRetry: a transient failure (here: a panic on the first
+// attempt only) must be retried and succeed without surfacing an error.
+func TestRunITCRetry(t *testing.T) {
+	defer faultpoint.Reset()
+	var calls atomic.Int32
+	faultpoint.Set("flow.itc.run:b14/M4", func() {
+		if calls.Add(1) == 1 {
+			panic("transient fault")
+		}
+	})
+
+	opt := robustITCOpts()
+	opt.Retries = 1
+	opt.RetryBackoff = time.Millisecond
+	rows, err := RunITC(context.Background(), opt)
+	if err != nil {
+		t.Fatalf("retry did not recover the transient failure: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("cell ran %d times, want 2 (fail + retry)", got)
+	}
+	for _, sl := range []int{4, 6} {
+		if _, ok := rows[0].Results[sl]; !ok {
+			t.Errorf("missing cell M%d after retry", sl)
+		}
+	}
+}
+
+// TestRunITCJobTimeout: a job exceeding JobTimeout must be recorded on
+// its cell — with an error naming the deadline — while the sibling
+// cell finishes untouched. The stalled job is cancelled at the next
+// context check, not left running.
+func TestRunITCJobTimeout(t *testing.T) {
+	defer faultpoint.Reset()
+	// The deadline applies to every job, so it must be generous enough
+	// for the un-stalled sibling to finish and the stall long enough to
+	// blow it with margin.
+	faultpoint.Set("flow.itc.run:b14/M4", func() { time.Sleep(2500 * time.Millisecond) })
+
+	opt := robustITCOpts()
+	opt.JobTimeout = time.Second
+	rows, err := RunITC(context.Background(), opt)
+	if err == nil {
+		t.Fatal("blown deadline did not surface an error")
+	}
+	cellErr := rows[0].Errors[4]
+	if cellErr == nil || !strings.Contains(cellErr.Error(), "jobtimeout") {
+		t.Errorf("cell error does not mention the deadline: %v", cellErr)
+	}
+	if !errors.Is(cellErr, context.DeadlineExceeded) {
+		t.Errorf("cell error does not wrap DeadlineExceeded: %v", cellErr)
+	}
+	if _, ok := rows[0].Results[6]; !ok {
+		t.Error("sibling cell b14/M6 was poisoned by the timeout")
+	}
+}
+
+// TestRunITCResumeIdentical is the crash-recovery contract end to end:
+// a run killed after its first completed cell leaves a manifest from
+// which a resumed run reproduces exactly the uninterrupted tables,
+// recomputing only the missing cells.
+func TestRunITCResumeIdentical(t *testing.T) {
+	defer faultpoint.Reset()
+
+	control, err := RunITC(context.Background(), robustITCOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel as soon as the first cell checkpoints.
+	path := filepath.Join(t.TempDir(), "run.json")
+	fp := runmanifest.Fingerprint{
+		Experiment: "itc", Scale: 0.03, KeyBits: 48, Patterns: 1 << 10, Seed: 4,
+		SplitLayers: []int{4, 6}, Benchmarks: []string{"b14"},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultpoint.Set("flow.itc.cell.done", func() { cancel() })
+	opt := robustITCOpts()
+	opt.Manifest = runmanifest.New(path, fp)
+	rows, err := RunITC(ctx, opt)
+	faultpoint.Reset()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	if len(rows[0].Errors) != 0 {
+		t.Fatalf("interrupt recorded as cell failure: %v", rows[0].Errors)
+	}
+
+	// Resume from the flushed manifest; count recomputed cells.
+	m, err := runmanifest.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := m.Len()
+	if done == 0 || done == 2 {
+		t.Fatalf("manifest holds %d cells after the interrupt, want exactly the pre-cancel progress", done)
+	}
+	var recomputed atomic.Int32
+	faultpoint.Set("flow.itc.run", func() { recomputed.Add(1) })
+	opt = robustITCOpts()
+	opt.Manifest = m
+	resumed, err := RunITC(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int(recomputed.Load()), 2-done; got != want {
+		t.Errorf("resume recomputed %d cells, want %d (checkpointed cells must be reused)", got, want)
+	}
+
+	// The tables print everything but Runtime (wall-clock, inherently
+	// non-deterministic); all table-visible fields must match exactly.
+	zeroRuntime := func(rows []ITCRow) {
+		for _, r := range rows {
+			for sl, res := range r.Results {
+				res.Runtime = 0
+				r.Results[sl] = res
+			}
+		}
+	}
+	zeroRuntime(control)
+	zeroRuntime(resumed)
+	if !reflect.DeepEqual(control, resumed) {
+		t.Errorf("resumed run diverged from the uninterrupted control:\ncontrol: %+v\nresumed: %+v", control, resumed)
+	}
+}
+
+// TestRunITCCancelledFlow: cancelling mid-run must reach into a running
+// flow (not just skip queued jobs) and return promptly.
+func TestRunITCCancelledFlow(t *testing.T) {
+	defer faultpoint.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	faultpoint.Set("flow.itc.run", func() { cancel() }) // cancel once the first job starts
+
+	start := time.Now()
+	rows, err := RunITC(ctx, robustITCOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	for sl, cerr := range rows[0].Errors {
+		t.Errorf("interrupted cell M%d recorded as failed: %v", sl, cerr)
+	}
+}

@@ -2,6 +2,7 @@ package lec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/aig"
 	"repro/internal/engine"
@@ -74,6 +75,7 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 
 	s := newMiterSolver(opt)
 	sw := newSweeper(g, s, bld, opt.Seed)
+	sw.stop = opt.Stop
 	// Sweep only the cones of pairs that strashing did not already
 	// resolve: a fully collapsed miter (the common locked-vs-original
 	// case) costs zero probes and zero clauses.
@@ -112,7 +114,7 @@ func checkAIG(a, b *netlist.Circuit, opt Options) (Result, error) {
 		case sat.Unsat:
 			s.AddClause(-act)
 		default:
-			return Result{}, fmt.Errorf("lec: solver returned unknown")
+			return Result{}, unknownErr(opt)
 		}
 	}
 	res.Stats.SweepMerges = sw.merges
@@ -134,6 +136,9 @@ type sweeper struct {
 	repr   []aig.Lit
 	seed   uint64
 	merges int
+	// stop, when non-nil and set, abandons sweeping early; sweeping
+	// only accelerates the check, so skipping it is always sound.
+	stop *atomic.Bool
 }
 
 func newSweeper(g *aig.Graph, s sat.Interface, bld *aig.Builder, seed uint64) *sweeper {
@@ -164,10 +169,14 @@ func (sw *sweeper) find(l aig.Lit) aig.Lit {
 }
 
 // sweep buckets the cone of the given roots by complement-canonical
-// signature and probes candidate merges in topological order.
+// signature and probes candidate merges in topological order. A raised
+// stop flag abandons the pass (partial merges already proven stand).
 func (sw *sweeper) sweep(roots []aig.Lit) {
 	need := sw.g.Cone(roots...)
-	sigs := sw.signatures()
+	sigs, err := sw.signatures()
+	if err != nil {
+		return // cancelled mid-simulation: skip sweeping entirely
+	}
 	type key [sweepWords]uint64
 	canon := func(n int) (key, bool) {
 		var k key
@@ -183,6 +192,9 @@ func (sw *sweeper) sweep(roots []aig.Lit) {
 	}
 	buckets := make(map[key]aig.Lit)
 	for n := 0; n < sw.g.NumNodes(); n++ {
+		if sw.stop != nil && sw.stop.Load() {
+			return
+		}
 		if !need[n] {
 			continue
 		}
@@ -229,7 +241,7 @@ func (sw *sweeper) probe(n int, cand aig.Lit) {
 // signatures simulates sweepWords stimulus words over the graph with a
 // deterministic per-leaf stream (leaves are shared by name through the
 // builder, so both circuits see identical patterns by construction).
-func (sw *sweeper) signatures() []uint64 {
+func (sw *sweeper) signatures() ([]uint64, error) {
 	seed := sw.seed
 	return sw.g.Signatures(sweepWords, func(leaf, k int) uint64 {
 		x := seed ^ 0x9e3779b97f4a7c15
@@ -239,7 +251,7 @@ func (sw *sweeper) signatures() []uint64 {
 		x *= 0x2545f4914f6cdd1d
 		x ^= x >> 31
 		return x
-	}, engine.Options{Grain: 1})
+	}, engine.Options{Grain: 1, Stop: sw.stop})
 }
 
 // counterexample extracts input and flip-flop values for circuit a

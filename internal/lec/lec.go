@@ -15,12 +15,18 @@
 package lec
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/netlist"
 	"repro/internal/sat"
 	"repro/internal/sim"
 )
+
+// ErrCancelled is returned when a check was cut short by Options.Stop
+// before reaching a verdict.
+var ErrCancelled = errors.New("lec: check cancelled")
 
 // Result reports the outcome of an equivalence check.
 type Result struct {
@@ -105,6 +111,13 @@ type Options struct {
 	// sets this so the paper tables stay reproducible at any
 	// -satworkers value.
 	PortfolioDeterministic bool
+	// Stop, when non-nil and set, cancels the check — prefilter
+	// simulation, sweeping, and miter solving all observe it — and
+	// Check returns ErrCancelled. A check that completes before the
+	// flag is observed returns its verdict unchanged, so
+	// deterministic-mode results stay bit-identical when a deadline
+	// never fires.
+	Stop *atomic.Bool
 }
 
 // newMiterSolver returns the SAT backend for one check: the single
@@ -115,9 +128,20 @@ func newMiterSolver(opt Options) sat.Interface {
 			Workers:       opt.PortfolioWorkers,
 			Seed:          opt.Seed,
 			Deterministic: opt.PortfolioDeterministic,
+			Stop:          opt.Stop,
 		})
 	}
-	return sat.New()
+	return sat.NewWithOptions(sat.Options{ExternalStop: opt.Stop})
+}
+
+// unknownErr maps a solver Unknown to the right error: ErrCancelled
+// when the caller's stop flag is up (a deadline or signal fired),
+// otherwise an internal error — an unbudgeted solve must decide.
+func unknownErr(opt Options) error {
+	if opt.Stop != nil && opt.Stop.Load() {
+		return ErrCancelled
+	}
+	return fmt.Errorf("lec: solver returned unknown")
 }
 
 // Check decides whether circuits a and b are functionally equivalent.
@@ -131,8 +155,13 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 		patterns = 8192
 	}
 	if patterns > 0 {
-		eq, err := sim.Equivalent(a, b, patterns, opt.Seed)
+		eq, err := sim.EquivalentOpt(a, b, sim.CompareOptions{
+			Patterns: patterns, Seed: opt.Seed, Stop: opt.Stop,
+		})
 		if err != nil {
+			if opt.Stop != nil && opt.Stop.Load() {
+				return Result{}, ErrCancelled
+			}
 			return Result{}, err
 		}
 		if !eq {
@@ -228,7 +257,7 @@ func Check(a, b *netlist.Circuit, opt Options) (Result, error) {
 			// activation literal and move on.
 			s.AddClause(-act)
 		default:
-			return Result{}, fmt.Errorf("lec: solver returned unknown")
+			return Result{}, unknownErr(opt)
 		}
 	}
 	return Result{Equivalent: true, UsedSAT: true,

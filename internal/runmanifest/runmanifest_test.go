@@ -1,0 +1,219 @@
+package runmanifest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+type cell struct {
+	CCR float64 `json:"ccr"`
+	HD  float64 `json:"hd"`
+}
+
+func testFP() Fingerprint {
+	return Fingerprint{
+		Experiment:  "itc",
+		Scale:       0.25,
+		KeyBits:     32,
+		Patterns:    1000,
+		Seed:        1,
+		SplitLayers: []int{4, 6},
+		Benchmarks:  []string{"b14"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := New(path, testFP())
+	want := cell{CCR: 93.125, HD: 12.0625}
+	if err := m.Put("b14/M4", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fingerprint().CompatibleWith(testFP()); err != nil {
+		t.Fatalf("fingerprint changed across round trip: %v", err)
+	}
+	var got cell
+	ok, err := m2.Get("b14/M4", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want present", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cell round trip: got %+v want %+v", got, want)
+	}
+	if ok, _ := m2.Get("b14/M6", &got); ok {
+		t.Fatal("Get reported a cell that was never put")
+	}
+}
+
+func TestFlushReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := New(path, testFP())
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("b14/M4", cell{CCR: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after Flush: %v", err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("reloaded manifest has %d cells, want 1", m2.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	os.WriteFile(corrupt, []byte(`{"version":1,"cells":{`), 0o644)
+	if _, err := Load(corrupt); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("Load of corrupt file: %v, want corrupt error", err)
+	}
+
+	oldver := filepath.Join(dir, "oldver.json")
+	os.WriteFile(oldver, []byte(`{"version":99,"cells":{}}`), 0o644)
+	if _, err := Load(oldver); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Load of version-mismatched file: %v, want version error", err)
+	}
+}
+
+func TestCompatibleWith(t *testing.T) {
+	base := testFP()
+
+	shard := testFP()
+	shard.Benchmarks = []string{"b15", "b17"}
+	if err := base.CompatibleWith(shard); err != nil {
+		t.Errorf("benchmark-only difference rejected: %v", err)
+	}
+
+	for name, mut := range map[string]func(*Fingerprint){
+		"experiment": func(f *Fingerprint) { f.Experiment = "iscas" },
+		"scale":      func(f *Fingerprint) { f.Scale = 1.0 },
+		"keybits":    func(f *Fingerprint) { f.KeyBits = 64 },
+		"patterns":   func(f *Fingerprint) { f.Patterns = 2000 },
+		"seed":       func(f *Fingerprint) { f.Seed = 7 },
+		"layers":     func(f *Fingerprint) { f.SplitLayers = []int{4} },
+	} {
+		fp := testFP()
+		mut(&fp)
+		if err := base.CompatibleWith(fp); err == nil {
+			t.Errorf("%s mismatch accepted", name)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	dir := t.TempDir()
+	fpA := testFP()
+	fpA.Benchmarks = []string{"b14"}
+	fpB := testFP()
+	fpB.Benchmarks = []string{"b15"}
+
+	a := New(filepath.Join(dir, "a.json"), fpA)
+	a.Put("b14/M4", cell{CCR: 1})
+	b := New(filepath.Join(dir, "b.json"), fpB)
+	b.Put("b15/M4", cell{CCR: 2})
+	b.Put("b15/M6", cell{CCR: 3})
+
+	merged := New(filepath.Join(dir, "m.json"), fpA)
+	if err := merged.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Len(); got != 3 {
+		t.Fatalf("merged %d cells, want 3", got)
+	}
+	if got := merged.Fingerprint().Benchmarks; !reflect.DeepEqual(got, []string{"b14", "b15"}) {
+		t.Fatalf("merged benchmarks %v, want [b14 b15]", got)
+	}
+
+	// Incompatible shard.
+	fpC := testFP()
+	fpC.Seed = 99
+	c := New("", fpC)
+	if err := merged.Merge(c); err == nil {
+		t.Error("merge of incompatible shard succeeded")
+	}
+
+	// Same cell, different payload.
+	d := New("", fpA)
+	d.Put("b14/M4", cell{CCR: 42})
+	if err := merged.Merge(d); err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Errorf("merge of conflicting cell: %v, want differs error", err)
+	}
+
+	// Same cell, identical payload is fine.
+	e := New("", fpA)
+	e.Put("b14/M4", cell{CCR: 1})
+	if err := merged.Merge(e); err != nil {
+		t.Errorf("merge of duplicate identical cell: %v", err)
+	}
+}
+
+// TestTruncatedFlushDetected proves the crash model: a flush that dies
+// before the rename leaves the previous manifest intact, and a manifest
+// damaged on disk is rejected by Load rather than silently resumed.
+func TestTruncatedFlushDetected(t *testing.T) {
+	defer faultpoint.Reset()
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := New(path, testFP())
+	m.Put("b14/M4", cell{CCR: 1})
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash between temp-write and rename must leave the old file.
+	m.Put("b14/M6", cell{CCR: 2})
+	faultpoint.Set("runmanifest.flush.pre-rename", func() {
+		panic("simulated crash")
+	})
+	func() {
+		defer func() { recover() }()
+		m.Flush()
+		t.Error("flush did not hit the fault point")
+	}()
+	faultpoint.Reset()
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatalf("old manifest unreadable after crashed flush: %v", err)
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("crashed flush changed the on-disk manifest: %d cells", m2.Len())
+	}
+
+	// A manifest truncated on disk (e.g. torn copy between machines)
+	// must fail Load, not resume from garbage.
+	faultpoint.Set("runmanifest.flush.pre-rename", func() {
+		os.Truncate(path+".tmp", 10)
+	})
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load of truncated manifest succeeded")
+	}
+}

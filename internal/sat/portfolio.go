@@ -29,6 +29,15 @@ type PortfolioOptions struct {
 	// winner, and all stats — are bit-identical across runs and hosts
 	// for a fixed configuration, at the cost of no multi-core speedup.
 	Deterministic bool
+	// Stop, when non-nil and set, cancels an in-flight solve (returning
+	// Unknown) from outside the portfolio — e.g. from a context watcher.
+	// Unlike Interrupt, it survives solve-entry reset: the portfolio
+	// never writes it, so a deadline that fires between solves still
+	// cancels the next one. A solve that completes before the flag is
+	// observed returns its result unchanged, which keeps
+	// deterministic-mode answers bit-identical when the deadline never
+	// fires.
+	Stop *atomic.Bool
 }
 
 // Portfolio runs one CNF instance on N solver members whose decision
@@ -63,10 +72,11 @@ type PortfolioOptions struct {
 type Portfolio struct {
 	members []*Solver
 	stop    *atomic.Bool
-	status  []Status // per-member result scratch for one solve round
-	winner  int      // member whose model Value reads
-	det     bool     // deterministic time-sliced mode
-	detUsed []int64  // per-member conflicts granted in the current deterministic solve
+	ext     *atomic.Bool // caller cancellation (PortfolioOptions.Stop), never written here
+	status  []Status     // per-member result scratch for one solve round
+	winner  int          // member whose model Value reads
+	det     bool         // deterministic time-sliced mode
+	detUsed []int64      // per-member conflicts granted in the current deterministic solve
 }
 
 // NewPortfolio returns an empty portfolio of opt.Workers diverging
@@ -83,13 +93,16 @@ func NewPortfolio(opt PortfolioOptions) *Portfolio {
 	p := &Portfolio{
 		members: make([]*Solver, n),
 		stop:    stop,
+		ext:     opt.Stop,
 		status:  make([]Status, n),
 		winner:  0,
 		det:     opt.Deterministic,
 		detUsed: make([]int64, n),
 	}
 	for i := range p.members {
-		p.members[i] = NewWithOptions(memberOptions(i, opt.Seed, stop))
+		mo := memberOptions(i, opt.Seed, stop)
+		mo.ExternalStop = opt.Stop
+		p.members[i] = NewWithOptions(mo)
 	}
 	if n > 1 && !opt.NoShare {
 		for _, m := range p.members {
@@ -178,6 +191,13 @@ func (p *Portfolio) SolveLimited(budget int64, assumptions ...int) Status {
 
 func (p *Portfolio) solve(budget int64, assumptions []int) Status {
 	p.stop.Store(false) // discard any interrupt aimed at a previous round
+	if p.ext != nil && p.ext.Load() {
+		// Caller cancellation is level-triggered, not edge-triggered:
+		// once the flag is up, every subsequent solve is refused until
+		// the caller lowers it.
+		p.winner = 0
+		return Unknown
+	}
 	if len(p.members) == 1 || (budget >= 0 && budget <= detSliceUnit) {
 		// Single member, or a bounded probe that fits in one scheduling
 		// slice (the LEC sweeper's SolveLimited calls): member 0 answers
@@ -194,7 +214,7 @@ func (p *Portfolio) solve(budget int64, assumptions []int) Status {
 	// One engine batch per member: the pool is sized to the member
 	// count, so every member searches concurrently until the stop flag
 	// (or its budget) ends the race.
-	engine.Run(len(p.members), engine.Options{Workers: len(p.members), Grain: 1},
+	_, _ = engine.Run(len(p.members), engine.Options{Workers: len(p.members), Grain: 1},
 		func(worker int) int { return worker },
 		func(_ int, b engine.Batch) {
 			for i := b.Start; i < b.End; i++ {
@@ -266,7 +286,7 @@ func (p *Portfolio) solveDeterministic(budget int64, assumptions []int) Status {
 				p.winner = i
 				return st
 			}
-			if p.stop.Load() {
+			if p.stop.Load() || (p.ext != nil && p.ext.Load()) {
 				p.winner = 0
 				return Unknown
 			}

@@ -92,6 +92,12 @@ type Options struct {
 	// it, so one flag can stop a whole fleet of solvers; the Portfolio
 	// owns such a flag to cancel losers once a member finds an answer.
 	Stop *atomic.Bool
+	// ExternalStop is a second stop flag with identical semantics,
+	// reserved for the caller above the portfolio layer: the Portfolio
+	// owns Stop for its internal race cancellation (and resets it at
+	// solve entry), so context/deadline cancellation threads through
+	// this one, which nothing in the solver stack ever writes.
+	ExternalStop *atomic.Bool
 	// NoPreprocess disables the solve-entry clause-database
 	// simplification (subsumption, self-subsumption and bounded
 	// variable elimination, see simplify.go). On by default.
@@ -173,7 +179,8 @@ type Solver struct {
 	rng      uint64 // xorshift state; 0 = randomness disabled
 	lubyUnit int64
 	intr     atomic.Bool  // Interrupt() request, consumed by solve
-	stop     *atomic.Bool // external cancellation (Options.Stop)
+	stop     *atomic.Bool // fleet cancellation (Options.Stop)
+	ext      *atomic.Bool // caller cancellation (Options.ExternalStop)
 
 	// Clause sharing (sharing.go), wired by the Portfolio: shareOut is
 	// this solver's publish ring, shareIn the peers' rings with this
@@ -281,6 +288,7 @@ func NewWithOptions(opt Options) *Solver {
 		rng:      opt.Seed,
 		lubyUnit: unit,
 		stop:     opt.Stop,
+		ext:      opt.ExternalStop,
 	}
 }
 
@@ -308,7 +316,8 @@ func (s *Solver) Interrupt() { s.intr.Store(true) }
 
 // interrupted reports whether this solve must stop now.
 func (s *Solver) interrupted() bool {
-	return s.intr.Load() || (s.stop != nil && s.stop.Load())
+	return s.intr.Load() || (s.stop != nil && s.stop.Load()) ||
+		(s.ext != nil && s.ext.Load())
 }
 
 // NumVars returns the number of allocated variables.

@@ -1,5 +1,7 @@
 package sat
 
+import "repro/internal/faultpoint"
+
 // Inprocessing — simplification at solve entry and restart boundaries
 //
 // Two cooperating passes keep the clause database small while solving:
@@ -150,24 +152,36 @@ func (s *Solver) simplify() {
 		sig = append(sig, sg)
 	}
 
-	// Backward subsumption and self-subsumption.
+	// Backward subsumption and self-subsumption. Interruption breaks out
+	// between clauses — a partially simplified database is still
+	// equisatisfiable, and the compaction + deferred units below restore
+	// the solver invariants — so a stop flag raised mid-preprocessing is
+	// honored within one subsumption step instead of after the whole
+	// pass.
 	for i := range cls {
-		if s.unsat {
+		if s.unsat || s.interrupted() {
 			break
 		}
+		faultpoint.Hit("sat.subsume")
 		if cls[i] < 0 || s.claSize(cls[i]) > bveMaxClause {
 			continue
 		}
 		units = s.subsumeWith(cls, sig, occ, i, units)
 	}
 
-	// Bounded variable elimination, in variable-index order.
+	// Bounded variable elimination, in variable-index order. The same
+	// interruption rule applies: each completed elimination is sound on
+	// its own.
 	elimBefore := s.numElim
 	if !s.unsat {
 		for v := int32(0); v < int32(len(s.assign)); v++ {
+			if s.interrupted() {
+				break
+			}
 			if s.elim[v] != 0 || s.frozen[v] != 0 || s.assign[v] >= 0 {
 				continue
 			}
+			faultpoint.Hit("sat.bve")
 			cls, sig, units = s.tryEliminate(cls, sig, occ, v, units)
 			if s.unsat {
 				break
@@ -643,9 +657,12 @@ func (s *Solver) maybeVivify() {
 		cand = append(cand, c)
 	}
 	for _, c := range cand {
-		if s.unsat {
+		// Stop between candidates: each vivified clause is individually
+		// sound, so a cancelled pass keeps what it already distilled.
+		if s.unsat || s.interrupted() {
 			break
 		}
+		faultpoint.Hit("sat.vivify")
 		// Re-check per clause: an earlier vivification may have
 		// propagated a unit that locked or satisfied this one.
 		if s.claDeleted(c) || s.locked(c) {

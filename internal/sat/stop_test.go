@@ -1,0 +1,151 @@
+package sat
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+// TestStopDuringSubsumption: a stop flag raised while solve-entry
+// subsumption is running must be observed within one subsumption step,
+// not after the whole preprocessing pass, and the solver must stay
+// reusable.
+func TestStopDuringSubsumption(t *testing.T) {
+	defer faultpoint.Reset()
+	var stop atomic.Bool
+	s := NewWithOptions(Options{Stop: &stop})
+	pigeonhole8x7(s)
+
+	hits := 0
+	faultpoint.Set("sat.subsume", func() {
+		hits++
+		stop.Store(true)
+	})
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("stopped solve returned %v, want Unknown", got)
+	}
+	if hits != 1 {
+		t.Fatalf("subsumption ran %d more steps after the stop flag was set", hits-1)
+	}
+	if s.Stats.ElimVars != 0 {
+		t.Fatalf("BVE eliminated %d variables after the stop flag was set", s.Stats.ElimVars)
+	}
+
+	faultpoint.Reset()
+	stop.Store(false)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve after stop: %v, want Unsat", got)
+	}
+}
+
+// TestStopDuringBVE: same bounded-latency contract for the variable
+// elimination loop.
+func TestStopDuringBVE(t *testing.T) {
+	defer faultpoint.Reset()
+	var stop atomic.Bool
+	s := NewWithOptions(Options{Stop: &stop})
+	pigeonhole8x7(s)
+
+	hits := 0
+	faultpoint.Set("sat.bve", func() {
+		hits++
+		stop.Store(true)
+	})
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("stopped solve returned %v, want Unknown", got)
+	}
+	if hits > 1 {
+		t.Fatalf("BVE visited %d more candidates after the stop flag was set", hits-1)
+	}
+
+	faultpoint.Reset()
+	stop.Store(false)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve after stop: %v, want Unsat", got)
+	}
+}
+
+// TestStopDuringVivify: the vivification candidate loop must break
+// between clauses once the flag is up.
+func TestStopDuringVivify(t *testing.T) {
+	defer faultpoint.Reset()
+	var stop atomic.Bool
+	s := NewWithOptions(Options{Stop: &stop})
+	// Implication ladder plus wide learnt clauses that vivification
+	// would distill one by one.
+	const n = 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-vars[i], vars[i+1])
+	}
+	for i := 0; i+3 < n; i++ {
+		s.attachClause([]uint32{intLit(-vars[i]), intLit(vars[i+1]), intLit(vars[i+3])}, true, 3)
+	}
+	s.lastViv = -(1 << 40)
+
+	hits := 0
+	faultpoint.Set("sat.vivify", func() {
+		hits++
+		stop.Store(true)
+	})
+	s.maybeVivify()
+	if hits != 1 {
+		t.Fatalf("vivification visited %d more candidates after the stop flag was set", hits-1)
+	}
+	stop.Store(false)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve after stopped vivify: %v", got)
+	}
+}
+
+// TestExternalStopSolver: Options.ExternalStop cancels like Stop and is
+// never cleared by the solver.
+func TestExternalStopSolver(t *testing.T) {
+	var ext atomic.Bool
+	s := NewWithOptions(Options{ExternalStop: &ext})
+	pigeonhole8x7(s)
+	ext.Store(true)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("solve under external stop: %v, want Unknown", got)
+	}
+	if !ext.Load() {
+		t.Fatal("solver cleared the external stop flag")
+	}
+	ext.Store(false)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve: %v, want Unsat", got)
+	}
+}
+
+// TestPortfolioExternalStop: PortfolioOptions.Stop survives the
+// portfolio's solve-entry reset of its internal race-cancel flag, in
+// both racing and deterministic modes, and clears for re-solve.
+func TestPortfolioExternalStop(t *testing.T) {
+	for _, det := range []bool{false, true} {
+		var ext atomic.Bool
+		p := NewPortfolio(PortfolioOptions{Workers: 2, Seed: 7, Deterministic: det, Stop: &ext})
+		pigeonholeIface(p, 8, 7)
+		ext.Store(true)
+		if got := p.Solve(); got != Unknown {
+			t.Fatalf("det=%v: solve under external stop: %v, want Unknown", det, got)
+		}
+		if !ext.Load() {
+			t.Fatalf("det=%v: portfolio cleared the external stop flag", det)
+		}
+		ext.Store(false)
+		if got := p.Solve(); got != Unsat {
+			t.Fatalf("det=%v: re-solve: %v, want Unsat", det, got)
+		}
+	}
+}
+
+// pigeonhole8x7 adds an 8-pigeon/7-hole instance: large enough to arm
+// solve-entry simplification (>= simpMinClauses problem clauses),
+// unsatisfiable, and quick to decide.
+func pigeonhole8x7(s *Solver) {
+	pigeonhole(s, 8, 7)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/netlist"
@@ -38,6 +39,11 @@ type CompareOptions struct {
 	// words are sharded in fixed batches and each batch's stimulus is
 	// an O(1) jump into the same seed stream.
 	Workers int
+	// Stop, when non-nil and set, cancels the comparison; Compare then
+	// returns engine.ErrStopped. A run that completes before the flag is
+	// observed is unaffected, so results stay bit-identical under
+	// deadlines that don't fire.
+	Stop *atomic.Bool
 }
 
 // Compare simulates circuits a and b under identical random stimulus
@@ -87,7 +93,7 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 		outA, outB, nsA, nsB []uint64
 		hdBits, errPatterns  int
 	}
-	states := engine.Run(words, engine.Options{Workers: opt.Workers},
+	states, err := engine.Run(words, engine.Options{Workers: opt.Workers, Stop: opt.Stop},
 		func(int) *cmpState {
 			return &cmpState{
 				inA:   make([]uint64, len(a.Inputs())),
@@ -131,6 +137,9 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 				s.errPatterns += bits.OnesCount64(anyDiff)
 			}
 		})
+	if err != nil {
+		return DiffStats{}, err
+	}
 
 	var hdBits, errPatterns int
 	for _, s := range states {
@@ -147,7 +156,15 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 // Equivalent reports whether a and b agreed on every simulated pattern;
 // it is a cheap necessary condition used as an LEC prefilter.
 func Equivalent(a, b *netlist.Circuit, patterns int, seed uint64) (bool, error) {
-	d, err := Compare(a, b, CompareOptions{Patterns: patterns, Seed: seed, ObserveState: true})
+	return EquivalentOpt(a, b, CompareOptions{Patterns: patterns, Seed: seed})
+}
+
+// EquivalentOpt is Equivalent with full CompareOptions (worker cap,
+// stop flag). ObserveState is forced on: equivalence must cover
+// next-state functions.
+func EquivalentOpt(a, b *netlist.Circuit, opt CompareOptions) (bool, error) {
+	opt.ObserveState = true
+	d, err := Compare(a, b, opt)
 	if err != nil {
 		return false, err
 	}
@@ -194,7 +211,7 @@ func Activity(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) 
 		in, st, nets []uint64
 		ones         []int
 	}
-	states := engine.Run(words, engine.Options{},
+	states, _ := engine.Run(words, engine.Options{},
 		func(int) *actState {
 			return &actState{
 				in:   make([]uint64, len(c.Inputs())),
