@@ -1,0 +1,138 @@
+package aig
+
+import "fmt"
+
+// Fingerprint is a 128-bit canonical structural hash of a set of cones
+// in a builder's graph. Two builders that construct structurally
+// identical cones — same leaf names, same AND/complement structure,
+// same root order — produce the same fingerprint even when their node
+// indices differ (leaves created in another order, unrelated nodes
+// interleaved), because leaves hash by name and AND nodes hash by a
+// fanin-order-independent combine of their children. That makes it a
+// content address: a job whose strashed graph fingerprints equal to an
+// earlier job's is the same verification problem and can be answered
+// from cache.
+//
+// The hash is *structural*, not functional: two different graphs of the
+// same Boolean function get different fingerprints. That is the right
+// granularity for caching — equal structure guarantees equal results
+// without any proving.
+type Fingerprint [2]uint64
+
+// IsZero reports whether f is the zero value, used as "no fingerprint"
+// (e.g. for jobs whose results are not content-addressable).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x%016x", f[0], f[1])
+}
+
+// Two independent mix seeds per hashing context give the two 64-bit
+// lanes of the fingerprint; a structural collision must defeat both.
+const (
+	fpSeedConst0 = 0x9e3779b97f4a7c15
+	fpSeedConst1 = 0xc2b2ae3d27d4eb4f
+	fpSeedLeaf0  = 0x165667b19e3779f9
+	fpSeedLeaf1  = 0x27d4eb2f165667c5
+	fpSeedCompl0 = 0x85ebca77c2b2ae63
+	fpSeedCompl1 = 0xff51afd7ed558ccd
+	fpSeedAnd0   = 0xc4ceb9fe1a85ec53
+	fpSeedAnd1   = 0x2545f4914f6cdd1d
+	fpSeedRoot0  = 0x9e6c63d0876a9a99
+	fpSeedRoot1  = 0xbf58476d1ce4e5b9
+)
+
+// fpMix64 is the splitmix64 finalizer, keyed by a seed constant.
+func fpMix64(x, seed uint64) uint64 {
+	x ^= seed
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fpLeaf hashes a leaf by name (FNV-1a into both lanes, then mixed), so
+// the hash is independent of leaf creation order.
+func fpLeaf(name string) [2]uint64 {
+	const prime = 1099511628211
+	h0 := uint64(14695981039346656037)
+	h1 := uint64(0x8a5cd789635d2dff)
+	for i := 0; i < len(name); i++ {
+		c := uint64(name[i])
+		h0 = (h0 ^ c) * prime
+		h1 = (h1 ^ c) * prime
+	}
+	return [2]uint64{fpMix64(h0, fpSeedLeaf0), fpMix64(h1, fpSeedLeaf1)}
+}
+
+// fpLit folds a literal's complement bit into its node hash.
+func fpLit(hs [][2]uint64, l Lit) [2]uint64 {
+	h := hs[l.Node()]
+	if l.IsCompl() {
+		h[0] = fpMix64(h[0], fpSeedCompl0)
+		h[1] = fpMix64(h[1], fpSeedCompl1)
+	}
+	return h
+}
+
+// fpLess orders two lane pairs lexicographically; sorting the fanin
+// hashes before combining makes the AND hash commutative without a weak
+// algebraic combine.
+func fpLess(a, b [2]uint64) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// Fingerprint computes the canonical structural hash of the cones
+// rooted at the given literals. The hash covers only the transitive
+// fanin of the roots — unrelated nodes elsewhere in the builder do not
+// affect it — and is sensitive to root order and root complement bits
+// (output polarity and ordering are part of the problem identity).
+func (b *Builder) Fingerprint(roots ...Lit) Fingerprint {
+	g := b.g
+	live := make([]Lit, 0, len(roots))
+	for _, r := range roots {
+		if r != Invalid {
+			live = append(live, r)
+		}
+	}
+	need := g.Cone(live...)
+	hs := make([][2]uint64, g.NumNodes())
+	hs[0] = [2]uint64{fpMix64(0, fpSeedConst0), fpMix64(0, fpSeedConst1)}
+	for n := 1; n < g.NumNodes(); n++ {
+		if !need[n] {
+			continue
+		}
+		if li := g.leaf[n]; li >= 0 {
+			hs[n] = fpLeaf(b.leafNames[li])
+			continue
+		}
+		f0, f1 := g.Fanins(n)
+		x, y := fpLit(hs, f0), fpLit(hs, f1)
+		if fpLess(y, x) {
+			x, y = y, x
+		}
+		hs[n] = [2]uint64{
+			fpMix64(x[0]^(y[0]<<1|y[0]>>63), fpSeedAnd0),
+			fpMix64(x[1]^(y[1]<<1|y[1]>>63), fpSeedAnd1),
+		}
+	}
+	fp := Fingerprint{fpSeedRoot0, fpSeedRoot1}
+	for _, r := range roots {
+		var rh [2]uint64
+		if r == Invalid {
+			rh = [2]uint64{fpSeedRoot1, fpSeedRoot0} // distinct "absent" marker
+		} else {
+			rh = fpLit(hs, r)
+		}
+		// Chained (order-sensitive) combine across roots.
+		fp[0] = fpMix64(fp[0]*1099511628211^rh[0], fpSeedRoot0)
+		fp[1] = fpMix64(fp[1]*1099511628211^rh[1], fpSeedRoot1)
+	}
+	return fp
+}

@@ -1,0 +1,79 @@
+package aig
+
+import "testing"
+
+// Two builders constructing the same cone with different leaf creation
+// order and unrelated extra nodes must fingerprint identically — the
+// hash is a content address, not an index snapshot.
+func TestFingerprintCanonical(t *testing.T) {
+	b1 := NewBuilder()
+	x1, y1 := b1.Leaf("x"), b1.Leaf("y")
+	r1 := b1.Graph().And(x1, y1)
+
+	b2 := NewBuilder()
+	// Leaves in the opposite order, plus junk outside the cone.
+	y2 := b2.Leaf("y")
+	junk := b2.Leaf("junk")
+	x2 := b2.Leaf("x")
+	b2.Graph().And(junk, y2)
+	r2 := b2.Graph().And(x2, y2)
+
+	if got, want := b2.Fingerprint(r2), b1.Fingerprint(r1); got != want {
+		t.Fatalf("same structure, different fingerprint: %s vs %s", got, want)
+	}
+}
+
+// Fanin order must not matter (AND is commutative and the graph sorts
+// fanins anyway); complement bits, root order, leaf names, and the
+// shape of the cone all must.
+func TestFingerprintSensitivity(t *testing.T) {
+	b := NewBuilder()
+	g := b.Graph()
+	x, y := b.Leaf("x"), b.Leaf("y")
+	and := g.And(x, y)
+	or := g.Or(x, y)
+
+	if b.Fingerprint(and) == b.Fingerprint(and.Not()) {
+		t.Error("root complement not reflected in fingerprint")
+	}
+	if b.Fingerprint(and) == b.Fingerprint(or) {
+		t.Error("AND and OR cones fingerprint identically")
+	}
+	if b.Fingerprint(and, or) == b.Fingerprint(or, and) {
+		t.Error("root order not reflected in fingerprint")
+	}
+	if b.Fingerprint(x) == b.Fingerprint(y) {
+		t.Error("leaf name not reflected in fingerprint")
+	}
+	if b.Fingerprint(and).IsZero() {
+		t.Error("fingerprint of a real cone is the zero sentinel")
+	}
+
+	b2 := NewBuilder()
+	z := b2.Leaf("z")
+	x2, y2 := b2.Leaf("x"), b2.Leaf("y")
+	triple := b2.Graph().And(b2.Graph().And(x2, y2), z)
+	pair := b2.Graph().And(x2, y2)
+	if b2.Fingerprint(triple) == b2.Fingerprint(pair) {
+		t.Error("deeper cone fingerprints like its sub-cone")
+	}
+	if b2.Fingerprint(pair) != b.Fingerprint(and) {
+		t.Error("identical sub-cone fingerprints differently across builders")
+	}
+}
+
+// The constant node and Invalid roots must hash deterministically and
+// distinctly.
+func TestFingerprintConstantsAndInvalid(t *testing.T) {
+	b := NewBuilder()
+	if b.Fingerprint(False) == b.Fingerprint(True) {
+		t.Error("constant false and true fingerprint identically")
+	}
+	if b.Fingerprint(Invalid) == b.Fingerprint(False) {
+		t.Error("Invalid root fingerprints like constant false")
+	}
+	b2 := NewBuilder()
+	if b.Fingerprint(False) != b2.Fingerprint(False) {
+		t.Error("constant fingerprint differs across builders")
+	}
+}

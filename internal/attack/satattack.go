@@ -80,6 +80,13 @@ type SATAttackOptions struct {
 	// NoRewrite disables the AIG cut-rewriting pass that shrinks the
 	// observable cones before the one-time shared encoding.
 	NoRewrite bool
+	// Solver, when non-nil, is the SAT backend for the whole attack and
+	// overrides the PortfolioWorkers/PortfolioDeterministic
+	// construction. It must be fresh (no variables or clauses): the
+	// attack encodes its incremental miter into it and owns it for the
+	// run. This is the pool seam — a daemon injects a portfolio sized
+	// to its admission grant.
+	Solver sat.Interface
 }
 
 // SATAttack runs the oracle-guided key-extraction attack of
@@ -122,7 +129,9 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	}
 	c := lk.Circuit
 	var s sat.Interface = sat.New()
-	if opt.PortfolioWorkers > 1 {
+	if opt.Solver != nil {
+		s = opt.Solver
+	} else if opt.PortfolioWorkers > 1 {
 		s = sat.NewPortfolio(sat.PortfolioOptions{
 			Workers:       opt.PortfolioWorkers,
 			Seed:          opt.Seed,

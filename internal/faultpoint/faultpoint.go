@@ -27,12 +27,28 @@ var (
 )
 
 func init() {
-	if spec := os.Getenv("REPRO_FAULTPOINTS"); spec != "" {
-		if err := Arm(spec); err != nil {
-			fmt.Fprintf(os.Stderr, "faultpoint: REPRO_FAULTPOINTS: %v\n", err)
-			os.Exit(2)
-		}
+	if err := armEnv(os.Getenv("REPRO_FAULTPOINTS")); err != nil {
+		fmt.Fprintf(os.Stderr, "faultpoint: REPRO_FAULTPOINTS ignored: %v\n", err)
 	}
+}
+
+// armEnv arms a REPRO_FAULTPOINTS specification. Library code must
+// never kill the host process — faultpoint is linked into long-running
+// daemons, not just short-lived test binaries — so an invalid spec does
+// not exit: the error is returned for logging and every entry is
+// disarmed (a half-armed spec would inject a *different* fault pattern
+// than the one asked for, which is worse than injecting none). The
+// exit=CODE action itself remains available, but only fires when a test
+// or CI run explicitly armed a well-formed spec.
+func armEnv(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	if err := Arm(spec); err != nil {
+		Reset()
+		return err
+	}
+	return nil
 }
 
 // Hit invokes the action registered for name, if any. Safe for

@@ -81,6 +81,39 @@ func TestArmBadSpecs(t *testing.T) {
 	}
 }
 
+// TestArmEnvBadSpecDisarms: the package-init path must survive an
+// invalid REPRO_FAULTPOINTS value without killing the host process —
+// the error is reported and every (possibly partially armed) entry is
+// rolled back, so a daemon linked against faultpoint starts with
+// injection disarmed rather than dying or running a half-armed spec.
+func TestArmEnvBadSpecDisarms(t *testing.T) {
+	defer Reset()
+	// "a:panic" is valid and arms before "b:bogus" fails: armEnv must
+	// roll the valid prefix back too.
+	if err := armEnv("a:panic;b:bogus"); err == nil {
+		t.Fatal("armEnv accepted an invalid spec")
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after invalid spec, want 0 (disarmed)", armed.Load())
+	}
+	Hit("a") // must be a no-op, not a panic
+}
+
+// TestArmEnvValidSpec: a well-formed env spec arms normally (the CI
+// kill-and-resume job depends on exit= firing when explicitly asked).
+func TestArmEnvValidSpec(t *testing.T) {
+	defer Reset()
+	if err := armEnv("a:stall=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if armed.Load() != 1 {
+		t.Fatalf("armed count %d, want 1", armed.Load())
+	}
+	if err := armEnv(""); err != nil {
+		t.Fatalf("empty spec must be a no-op, got %v", err)
+	}
+}
+
 func TestHitConcurrent(t *testing.T) {
 	defer Reset()
 	var mu sync.Mutex

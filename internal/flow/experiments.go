@@ -94,6 +94,11 @@ type ITCOptions struct {
 	// Each completed cell is flushed to disk immediately, making the
 	// run resumable after a crash or kill.
 	Manifest *runmanifest.Manifest
+	// Progress, when non-nil, is called after each cell completes or
+	// fails, with the cell key and the running counts (calls are
+	// serialized under the run's result lock). It must not influence
+	// results — the daemon streams it to job event listeners.
+	Progress func(key string, done, total int) `json:"-"`
 }
 
 func (o ITCOptions) withDefaults() ITCOptions {
@@ -152,6 +157,7 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(jobs))
 	var mu sync.Mutex
 	var manifestErr error
+	done := 0
 	run := func(j job) {
 		if ctx.Err() != nil {
 			return
@@ -171,9 +177,17 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 				rows[j.bi].Errors = make(map[int]error)
 			}
 			rows[j.bi].Errors[j.layer] = err
+			done++
+			if opt.Progress != nil {
+				opt.Progress(ITCCellKey(bench, j.layer), done, len(jobs))
+			}
 			return
 		}
 		rows[j.bi].Results[j.layer] = res
+		done++
+		if opt.Progress != nil {
+			opt.Progress(ITCCellKey(bench, j.layer), done, len(jobs))
+		}
 		if opt.Manifest != nil {
 			key := ITCCellKey(bench, j.layer)
 			if err := opt.Manifest.Put(key, res); err != nil {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/route"
+	"repro/internal/sat"
 	"repro/internal/sim"
 	"repro/internal/split"
 )
@@ -66,6 +67,23 @@ type Config struct {
 	SolverWorkers int
 	// PlacePasses overrides placement improvement passes (0 = default).
 	PlacePasses int
+	// Progress, when non-nil, receives a notification as the flow
+	// crosses each stage boundary ("lock", "lec", "place", "route",
+	// "split"). The daemon's job runner streams these to clients; the
+	// hook must not block for long (it runs on the flow goroutine) and
+	// must not influence results.
+	Progress func(stage, message string) `json:"-"`
+	// LECSolver, when non-nil, is injected as the Fig. 3 LEC step's SAT
+	// backend (overriding the SolverWorkers construction). It must be
+	// fresh; the check owns it. The daemon routes its pool-leased
+	// portfolios through here.
+	LECSolver sat.Interface `json:"-"`
+}
+
+func (c Config) progress(stage, msg string) {
+	if c.Progress != nil {
+		c.Progress(stage, msg)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +136,7 @@ func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, er
 	}
 
 	// --- Synthesis stage ---
+	cfg.progress("lock", fmt.Sprintf("locking %s (%d gates, %d key bits)", orig.Name, orig.NumGates(), cfg.KeyBits))
 	var lk *locking.Locked
 	var rep *locking.ATPGLockReport
 	var err error
@@ -138,6 +157,7 @@ func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cfg.progress("lec", fmt.Sprintf("verifying locked netlist (%d gates)", lk.Circuit.NumGates()))
 	lecStats, err := verifyEquivalence(ctx, orig, lk.Circuit, cfg)
 	if err != nil {
 		return nil, err
@@ -147,6 +167,7 @@ func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, er
 	}
 
 	// --- Layout stage ---
+	cfg.progress("place", "placing locked netlist")
 	lay, err := place.Place(lk.Circuit, place.Options{
 		Seed:          cfg.Seed + 1,
 		Utilization:   cfg.Utilization,
@@ -159,6 +180,7 @@ func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cfg.progress("route", fmt.Sprintf("routing with key-nets lifted above M%d", cfg.SplitLayer))
 	routes, err := route.RouteAll(lay, route.Options{
 		SplitLayer:  cfg.SplitLayer,
 		LiftKeyNets: true,
@@ -166,6 +188,7 @@ func Run(ctx context.Context, orig *netlist.Circuit, cfg Config) (*Artifacts, er
 	if err != nil {
 		return nil, fmt.Errorf("flow: routing: %w", err)
 	}
+	cfg.progress("split", "splitting into FEOL and BEOL views")
 	view, secret, err := split.Split(lay, routes)
 	if err != nil {
 		return nil, fmt.Errorf("flow: split: %w", err)
@@ -204,6 +227,7 @@ func verifyEquivalence(ctx context.Context, orig, locked *netlist.Circuit, cfg C
 			// and worker count, so the flow always takes the
 			// deterministic portfolio schedule.
 			PortfolioDeterministic: true,
+			Solver:                 cfg.LECSolver,
 			Stop:                   stop,
 		})
 		if err != nil {

@@ -118,11 +118,22 @@ type Options struct {
 	// deterministic-mode results stay bit-identical when a deadline
 	// never fires.
 	Stop *atomic.Bool
+	// Solver, when non-nil, is the SAT backend for this check and
+	// overrides the PortfolioWorkers/PortfolioDeterministic
+	// construction. It must be fresh (no variables or clauses): the
+	// check owns it for its duration. This is the pool seam — a daemon
+	// acquires a slot lease and injects a portfolio sized to the
+	// admission grant instead of letting every concurrent check build a
+	// full-width one.
+	Solver sat.Interface
 }
 
 // newMiterSolver returns the SAT backend for one check: the single
 // deterministic solver, or a portfolio seeded from the checker seed.
 func newMiterSolver(opt Options) sat.Interface {
+	if opt.Solver != nil {
+		return opt.Solver
+	}
 	if opt.PortfolioWorkers > 1 {
 		return sat.NewPortfolio(sat.PortfolioOptions{
 			Workers:       opt.PortfolioWorkers,

@@ -98,14 +98,31 @@ type manifestFile struct {
 }
 
 // New returns an empty manifest for the given configuration, persisted
-// to path by Flush (path "" keeps it in memory only).
+// to path by Flush (path "" keeps it in memory only). Opening a
+// manifest sweeps the stale temp file a crash may have orphaned; a
+// manifest file has a single writer at a time, so the temp is never
+// another process's in-flight flush.
 func New(path string, fp Fingerprint) *Manifest {
 	fp.Normalize()
+	sweepStaleTemp(path)
 	return &Manifest{
 		fp:    fp,
 		cells: make(map[string]json.RawMessage),
 		path:  path,
 	}
+}
+
+// sweepStaleTemp removes the orphaned temp file of a crashed flush.
+// The write-temp-then-rename protocol means path+".tmp" is never the
+// source of truth — a crash between the write and the rename leaves the
+// previous complete manifest at path and an orphan at path+".tmp" that
+// a resumed run would otherwise never clean up (a resumed run that
+// finds every cell complete never flushes).
+func sweepStaleTemp(path string) {
+	if path == "" {
+		return
+	}
+	os.Remove(path + ".tmp")
 }
 
 // Load reads a manifest file. A missing, truncated, corrupt or

@@ -217,3 +217,59 @@ func TestTruncatedFlushDetected(t *testing.T) {
 		t.Fatal("Load of truncated manifest succeeded")
 	}
 }
+
+// TestStaleTempSweptOnOpen: a process killed between the temp write and
+// the rename orphans path+".tmp"; reopening the manifest (Load or New)
+// must remove the orphan — a resumed run that finds every cell already
+// complete never flushes again, so nothing else would ever clean it up.
+func TestStaleTempSweptOnOpen(t *testing.T) {
+	defer faultpoint.Reset()
+	path := filepath.Join(t.TempDir(), "run.json")
+	m := New(path, testFP())
+	m.Put("b14/M4", cell{CCR: 1})
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the writer between write-temp and rename. The panic is a
+	// deterministic stand-in for SIGKILL: the temp file is fully written
+	// and synced, the rename never happens.
+	m.Put("b14/M6", cell{CCR: 2})
+	faultpoint.Set("runmanifest.flush.pre-rename", func() {
+		panic("simulated kill")
+	})
+	func() {
+		defer func() { recover() }()
+		m.Flush()
+		t.Error("flush did not hit the fault point")
+	}()
+	faultpoint.Reset()
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("crashed flush left no orphan temp: %v", err)
+	}
+
+	// The restarted run reopens the manifest: the previous snapshot is
+	// intact and the orphan is swept.
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("resumed manifest has %d cells, want 1 (pre-crash snapshot)", m2.Len())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temp not swept on open: stat err = %v", err)
+	}
+
+	// New (fresh run over the same path) sweeps too.
+	if err := m2.Flush(); err != nil { // recreate then orphan again
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp", []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	New(path, testFP())
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("New did not sweep stale temp: stat err = %v", err)
+	}
+}

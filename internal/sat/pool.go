@@ -1,0 +1,148 @@
+package sat
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool rations solver member slots across concurrent jobs. A daemon
+// serving many lock/verify/attack jobs cannot let each one spin up a
+// full-width portfolio — N jobs × M members oversubscribes the machine
+// M-fold — so jobs Acquire a lease before building their portfolio and
+// size it to the slots actually granted. Admission is FIFO: a job that
+// asked first is granted first, and a grant is made as soon as at least
+// one slot is free (a job may receive fewer members than it wanted
+// under load — a narrower portfolio is slower, never wrong).
+//
+// Leases deliberately hand out *slots*, not solver instances: solvers
+// and portfolios carry instance-specific clauses and have no reset
+// surface, so reusing one across jobs would leak one job's formula into
+// the next. The pool bounds concurrent search width; each job still
+// builds its own fresh portfolio via Lease.NewPortfolio.
+type Pool struct {
+	mu      sync.Mutex
+	total   int
+	free    int
+	waiters []*poolWaiter
+}
+
+type poolWaiter struct {
+	want int
+	got  chan int // buffered(1); receives the granted slot count
+}
+
+// NewPool returns a pool of the given number of member slots; slots <= 0
+// picks GOMAXPROCS.
+func NewPool(slots int) *Pool {
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{total: slots, free: slots}
+}
+
+// Total returns the pool's slot capacity.
+func (p *Pool) Total() int { return p.total }
+
+// Free returns the currently unleased slot count.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// Acquire blocks until the pool can grant at least one slot (FIFO with
+// respect to other acquirers) or ctx is done. The lease holds
+// min(want, free-at-grant-time) slots, capped at the pool total; want
+// < 1 asks for one slot. The caller must Release the lease.
+func (p *Pool) Acquire(ctx context.Context, want int) (*Lease, error) {
+	if want < 1 {
+		want = 1
+	}
+	if want > p.total {
+		want = p.total
+	}
+	p.mu.Lock()
+	if len(p.waiters) == 0 && p.free > 0 {
+		n := want
+		if n > p.free {
+			n = p.free
+		}
+		p.free -= n
+		p.mu.Unlock()
+		return &Lease{pool: p, slots: n}, nil
+	}
+	w := &poolWaiter{want: want, got: make(chan int, 1)}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+	select {
+	case n := <-w.got:
+		return &Lease{pool: p, slots: n}, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for i, x := range p.waiters {
+			if x == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				p.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		p.mu.Unlock()
+		// A grant raced the cancellation: the slots are already ours,
+		// hand them straight back.
+		p.release(<-w.got)
+		return nil, ctx.Err()
+	}
+}
+
+// release returns n slots and hands them to queued waiters in FIFO
+// order.
+func (p *Pool) release(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free += n
+	for len(p.waiters) > 0 && p.free > 0 {
+		w := p.waiters[0]
+		g := w.want
+		if g > p.free {
+			g = p.free
+		}
+		p.free -= g
+		p.waiters = p.waiters[1:]
+		w.got <- g
+	}
+}
+
+// Lease is a grant of solver member slots. Release exactly once when
+// the job's solving is done (idempotent, so a deferred Release after an
+// explicit one is safe).
+type Lease struct {
+	pool     *Pool
+	slots    int
+	released bool
+	mu       sync.Mutex
+}
+
+// Slots returns the number of member slots granted.
+func (l *Lease) Slots() int { return l.slots }
+
+// NewPortfolio builds a fresh portfolio sized to the lease: Workers is
+// clamped to the granted slots (and defaults to all of them), so a job
+// cannot out-size its admission grant.
+func (l *Lease) NewPortfolio(opt PortfolioOptions) *Portfolio {
+	if opt.Workers <= 0 || opt.Workers > l.slots {
+		opt.Workers = l.slots
+	}
+	return NewPortfolio(opt)
+}
+
+// Release returns the lease's slots to the pool.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	done := l.released
+	l.released = true
+	l.mu.Unlock()
+	if !done {
+		l.pool.release(l.slots)
+	}
+}

@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolGrantAndClamp(t *testing.T) {
+	p := NewPool(4)
+	if p.Total() != 4 || p.Free() != 4 {
+		t.Fatalf("fresh pool: total %d free %d", p.Total(), p.Free())
+	}
+	l, err := p.Acquire(context.Background(), 3)
+	if err != nil || l.Slots() != 3 {
+		t.Fatalf("Acquire(3) = %d slots, %v", l.Slots(), err)
+	}
+	// Only one slot left: a wide request is granted narrow, not blocked.
+	l2, err := p.Acquire(context.Background(), 4)
+	if err != nil || l2.Slots() != 1 {
+		t.Fatalf("Acquire(4) with 1 free = %d slots, %v", l2.Slots(), err)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %d, want 0", p.Free())
+	}
+	l.Release()
+	l.Release() // idempotent
+	l2.Release()
+	if p.Free() != 4 {
+		t.Fatalf("free after releases = %d, want 4", p.Free())
+	}
+
+	// Over-asking clamps to the pool total; under-asking means one slot.
+	l3, _ := p.Acquire(context.Background(), 99)
+	if l3.Slots() != 4 {
+		t.Fatalf("Acquire(99) = %d slots, want 4", l3.Slots())
+	}
+	l3.Release()
+	l4, _ := p.Acquire(context.Background(), 0)
+	if l4.Slots() != 1 {
+		t.Fatalf("Acquire(0) = %d slots, want 1", l4.Slots())
+	}
+	l4.Release()
+}
+
+func TestPoolFIFOBlocking(t *testing.T) {
+	p := NewPool(2)
+	la, _ := p.Acquire(context.Background(), 1)
+	lb, _ := p.Acquire(context.Background(), 1)
+
+	type grant struct {
+		id    int
+		lease *Lease
+	}
+	grants := make(chan grant, 2)
+	var ready sync.WaitGroup
+	ready.Add(1)
+	go func() {
+		ready.Done()
+		g, err := p.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		grants <- grant{1, g}
+	}()
+	ready.Wait()
+	// Give the first waiter time to queue before the second arrives, so
+	// FIFO order is observable.
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		g, err := p.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		grants <- grant{2, g}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case g := <-grants:
+		t.Fatalf("waiter %d granted while pool exhausted", g.id)
+	default:
+	}
+
+	// One slot at a time: each release can satisfy only the head waiter,
+	// so the grant order is observable.
+	la.Release()
+	g1 := <-grants
+	lb.Release()
+	g2 := <-grants
+	if g1.id != 1 || g2.id != 2 {
+		t.Fatalf("grant order %d,%d, want FIFO 1,2", g1.id, g2.id)
+	}
+	g1.lease.Release()
+	g2.lease.Release()
+	if p.Free() != 2 {
+		t.Fatalf("free = %d, want 2", p.Free())
+	}
+}
+
+func TestPoolAcquireCancel(t *testing.T) {
+	p := NewPool(1)
+	l, _ := p.Acquire(context.Background(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctx, 1)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errs; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	// The abandoned waiter must not absorb the released slot.
+	l.Release()
+	if p.Free() != 1 {
+		t.Fatalf("free = %d after cancel+release, want 1", p.Free())
+	}
+}
+
+func TestPoolConcurrentChurn(t *testing.T) {
+	p := NewPool(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l, err := p.Acquire(context.Background(), want)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if l.Slots() < 1 || l.Slots() > 3 {
+					t.Errorf("lease of %d slots from a 3-slot pool", l.Slots())
+				}
+				l.Release()
+			}
+		}(1 + i%4)
+	}
+	wg.Wait()
+	if p.Free() != 3 {
+		t.Fatalf("free = %d after churn, want 3", p.Free())
+	}
+}
+
+func TestLeasePortfolioClamped(t *testing.T) {
+	p := NewPool(2)
+	l, _ := p.Acquire(context.Background(), 2)
+	defer l.Release()
+	if w := l.NewPortfolio(PortfolioOptions{Workers: 8}).Workers(); w != 2 {
+		t.Fatalf("lease portfolio has %d workers, want 2", w)
+	}
+	if w := l.NewPortfolio(PortfolioOptions{}).Workers(); w != 2 {
+		t.Fatalf("default lease portfolio has %d workers, want 2", w)
+	}
+	if w := l.NewPortfolio(PortfolioOptions{Workers: 1}).Workers(); w != 1 {
+		t.Fatalf("narrow request widened to %d workers", w)
+	}
+}
