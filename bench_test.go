@@ -11,6 +11,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -164,6 +165,54 @@ func BenchmarkPatternEngine(b *testing.B) {
 				b.ReportMetric(d.OER*100, "OER_%")
 			}
 		})
+	}
+}
+
+// BenchmarkCompare1M measures the wide-word simulation kernel head-on:
+// one HD/OER comparison at the paper's 1M-pattern depth between b14 and
+// a wrong-key locked copy (same boundary, nonzero HD), at each
+// supported simulation width. The reported stats are bit-identical
+// across widths; only the wall clock moves. The x0.1 variants profile
+// the solver-benchmark scale, the full-size ones the paper's Table II
+// configuration.
+func BenchmarkCompare1M(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		scale float64
+	}{
+		{"b14x0.1", benchSATScale},
+		{"b14", 1.0},
+	} {
+		orig, err := bmarks.Load("b14", cfg.scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lk, err := locking.RandomLock(orig, locking.RandomLockOptions{KeyBits: benchKeyBits, Seed: 13})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wrong := locking.Key{Bits: make([]bool, len(lk.Key.Bits))}
+		for i, v := range lk.Key.Bits {
+			wrong.Bits[i] = !v
+		}
+		wc, err := lk.ApplyKey(wrong)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/width=%d", cfg.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d, err := sim.Compare(orig, wc, sim.CompareOptions{
+						Patterns: 1 << 20, Seed: 9, Width: w, ObserveState: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(d.HD*100, "HD_%")
+					b.ReportMetric(d.OER*100, "OER_%")
+				}
+			})
+		}
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 	"repro/internal/bmarks"
 	"repro/internal/flow"
 	"repro/internal/runmanifest"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		parallel   = flag.Bool("parallel", true, "run benchmarks concurrently")
 		simWork    = flag.Int("simworkers", 0, "pattern-simulation workers per job (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		simWidth   = flag.Int("simwidth", 0, "simulation width in 64-pattern words per net (1, 4 or 8; 0 = auto): tables are byte-identical at every width")
 		satWork    = flag.Int("satworkers", 2, "SAT portfolio members per LEC solve, run in the deterministic time-sliced mode: results are bit-identical for every value (0/1 = single solver)")
 		benchSel   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the full suite of the selected table); e.g. -benchmarks b14 for a single full-scale run")
 		jobTimeout = flag.Duration("jobtimeout", 0, "per-cell deadline for Table I/II jobs; a blown deadline is recorded on that cell and the others keep running (0 = none)")
@@ -91,6 +93,9 @@ func main() {
 	// hours, and "unknown benchmark" must not surface after that.
 	if err := bmarks.Validate(benches); err != nil {
 		fail(err)
+	}
+	if *simWidth != 0 && !sim.ValidWidth(*simWidth) {
+		fail(fmt.Errorf("-simwidth %d unsupported (want 0, 1, 4 or 8)", *simWidth))
 	}
 
 	if *mergeSel != "" {
@@ -140,6 +145,7 @@ func main() {
 			Benchmarks: benches,
 			Scale:      *scale, KeyBits: *keyBits, Patterns: *patterns,
 			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
+			SimWidth:      *simWidth,
 			SolverWorkers: *satWork,
 			JobTimeout:    *jobTimeout, Retries: *retries,
 			Manifest: manifest,
@@ -166,7 +172,7 @@ func main() {
 		rows, err := flow.RunISCAS(ctx, flow.ISCASOptions{
 			Benchmarks: benches,
 			KeyBits:    *keyBits, Patterns: *patterns, Seed: *seed, Parallel: *parallel,
-			SimWorkers: *simWork, SolverWorkers: *satWork,
+			SimWorkers: *simWork, SimWidth: *simWidth, SolverWorkers: *satWork,
 		})
 		interrupted(nil)
 		if err != nil {

@@ -16,6 +16,7 @@ package aig
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/engine"
 )
@@ -255,39 +256,118 @@ func LitWord(buf []uint64, l Lit) uint64 {
 
 // Eval simulates 64 parallel patterns: leafWords holds one stimulus
 // word per leaf (in leaf-index order) and buf, of length NumNodes,
-// receives the value of every node.
+// receives the value of every node. Eval is the width-1 instantiation
+// of the wide kernel; see EvalWide.
 func (g *Graph) Eval(leafWords, buf []uint64) {
-	buf[0] = 0
+	evalWide(g, lanesOf[[1]uint64](leafWords), lanesOf[[1]uint64](buf))
+}
+
+// EvalWide simulates w×64 parallel patterns in one forward pass. Both
+// buffers are flat with stride w (leaf/node i's lane k at index
+// i*w+k); buf must have length NumNodes*w. w must be 1, 4 or 8.
+func (g *Graph) EvalWide(w int, leafWords, buf []uint64) {
+	switch w {
+	case 1:
+		evalWide(g, lanesOf[[1]uint64](leafWords), lanesOf[[1]uint64](buf))
+	case 4:
+		evalWide(g, lanesOf[[4]uint64](leafWords), lanesOf[[4]uint64](buf))
+	case 8:
+		evalWide(g, lanesOf[[8]uint64](leafWords), lanesOf[[8]uint64](buf))
+	default:
+		panic(fmt.Sprintf("aig: unsupported width %d", w))
+	}
+}
+
+// lanes constrains the per-node word group the wide kernel is
+// instantiated over; each array length compiles to its own
+// constant-trip-count specialization (mirroring internal/sim).
+type lanes interface {
+	[1]uint64 | [4]uint64 | [8]uint64
+}
+
+// lanesOf reinterprets a flat stride-W buffer as W-word groups.
+func lanesOf[W lanes](buf []uint64) []W {
+	var z W
+	w := len(z)
+	if len(buf) == 0 {
+		return nil
+	}
+	if len(buf)%w != 0 {
+		panic(fmt.Sprintf("aig: buffer length %d not a multiple of width %d", len(buf), w))
+	}
+	return unsafe.Slice((*W)(unsafe.Pointer(&buf[0])), len(buf)/w)
+}
+
+func evalWide[W lanes](g *Graph, leafWords, buf []W) {
+	var zero W
+	buf[0] = zero
 	for n := 1; n < len(g.nodes); n++ {
 		if li := g.leaf[n]; li >= 0 {
 			buf[n] = leafWords[li]
 			continue
 		}
 		nd := &g.nodes[n]
-		buf[n] = LitWord(buf, nd.f0) & LitWord(buf, nd.f1)
+		x, y := buf[nd.f0.Node()], buf[nd.f1.Node()]
+		var m0, m1 uint64
+		if nd.f0.IsCompl() {
+			m0 = ^uint64(0)
+		}
+		if nd.f1.IsCompl() {
+			m1 = ^uint64(0)
+		}
+		var v W
+		for k := 0; k < len(v); k++ {
+			v[k] = (x[k] ^ m0) & (y[k] ^ m1)
+		}
+		buf[n] = v
 	}
 }
 
 // Signatures bit-parallel simulates `words` 64-pattern words, sharding
 // the words across the engine worker pool; stim(leaf, word) supplies
 // the stimulus. The result is a flat array indexed [node*words+k] and
-// is bit-identical for any worker count. The error is non-nil only
-// when opt.Stop cut the run short; the signatures are then partial and
-// must be discarded.
+// is bit-identical for any worker count. Internally the simulation
+// runs at the widest width the word count supports; the output layout
+// and values are unaffected. The error is non-nil only when opt.Stop
+// cut the run short; the signatures are then partial and must be
+// discarded.
 func (g *Graph) Signatures(words int, stim func(leaf, word int) uint64, opt engine.Options) ([]uint64, error) {
 	n := g.NumNodes()
 	sigs := make([]uint64, n*words)
+	w := 1
+	switch {
+	case words >= 8:
+		w = 8
+	case words >= 4:
+		w = 4
+	}
+	items := (words + w - 1) / w
+	if opt.Grain <= 0 {
+		opt.Grain = engine.GrainForWidth(w)
+	}
 	type state struct{ leafW, buf []uint64 }
-	_, err := engine.Run(words, opt, func(int) *state {
-		return &state{make([]uint64, g.NumLeaves()), make([]uint64, n)}
+	_, err := engine.Run(items, opt, func(int) *state {
+		return &state{make([]uint64, g.NumLeaves()*w), make([]uint64, n*w)}
 	}, func(s *state, b engine.Batch) {
-		for k := b.Start; k < b.End; k++ {
-			for i := range s.leafW {
-				s.leafW[i] = stim(i, k)
+		for t := b.Start; t < b.End; t++ {
+			base := t * w
+			ln := words - base
+			if ln > w {
+				ln = w
 			}
-			g.Eval(s.leafW, s.buf)
+			for i := 0; i < g.NumLeaves(); i++ {
+				for k := 0; k < ln; k++ {
+					s.leafW[i*w+k] = stim(i, base+k)
+				}
+				for k := ln; k < w; k++ {
+					s.leafW[i*w+k] = 0
+				}
+			}
+			g.EvalWide(w, s.leafW, s.buf)
 			for nd := 0; nd < n; nd++ {
-				sigs[nd*words+k] = s.buf[nd]
+				for k := 0; k < ln; k++ {
+					sigs[nd*words+base+k] = s.buf[nd*w+k]
+				}
 			}
 		}
 	})

@@ -215,6 +215,40 @@ func TestFaultSimWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// Detection maps must also be bit-identical at every simulation width,
+// including pattern counts that leave a partial trailing wide word.
+func TestFaultSimWidthInvariance(t *testing.T) {
+	c := c17(t)
+	fs := EnumerateFaults(c)
+	for _, patterns := range []int{640, 2048} {
+		ref, err := FaultSimOpt(c, fs, FaultSimOptions{Patterns: patterns, Seed: 3, Width: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 4, 8} {
+			for _, workers := range []int{1, 4} {
+				res, err := FaultSimOpt(c, fs, FaultSimOptions{
+					Patterns: patterns, Seed: 3, Width: w, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Coverage != ref.Coverage {
+					t.Fatalf("width=%d workers=%d: coverage %v, want %v", w, workers, res.Coverage, ref.Coverage)
+				}
+				for i := range ref.Detected {
+					if res.Detected[i] != ref.Detected[i] {
+						t.Fatalf("width=%d workers=%d: fault %v detection differs", w, workers, fs[i])
+					}
+				}
+			}
+		}
+	}
+	if _, err := FaultSimOpt(c, fs, FaultSimOptions{Patterns: 64, Width: 5}); err == nil {
+		t.Fatal("expected an error for width 5")
+	}
+}
+
 func TestFaultSimDetectsAllC17Faults(t *testing.T) {
 	// c17 is fully testable: every stuck-at fault is detectable, and
 	// random patterns over 5 inputs quickly achieve full coverage.

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 
@@ -31,6 +32,10 @@ type FaultSimOptions struct {
 	// result is identical for every setting: a fault is detected iff
 	// some pattern observes it, regardless of how the work is sharded.
 	Workers int
+	// Width is the simulation width in 64-pattern words per net (1, 4
+	// or 8; 0 auto-selects from the pattern count). Detection results
+	// are identical at every width.
+	Width int
 }
 
 // FaultSim runs bit-parallel stuck-at fault simulation over random
@@ -73,6 +78,16 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 		opt.Patterns = 1024
 	}
 	words := (opt.Patterns + 63) / 64
+	wd := opt.Width
+	if wd == 0 {
+		wd = sim.AutoWidth(words)
+	}
+	if !sim.ValidWidth(wd) {
+		return nil, fmt.Errorf("atpg: unsupported simulation width %d", wd)
+	}
+	// One sweep step is one wide word of wd×64 patterns; idle lanes in
+	// the last step are simulated but never checked for detection.
+	wideWords := (words + wd - 1) / wd
 
 	// Pre-compute, per fault, the fanout cone in topological order;
 	// cone extraction is itself sharded (distinct indices per batch).
@@ -116,20 +131,26 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 	}
 	newState := func(detected []bool) *fsState {
 		return &fsState{
-			in:       make([]uint64, len(c.Inputs())),
-			st:       make([]uint64, len(c.DFFs())),
-			good:     e.NewNetBuffer(),
-			faulty:   e.NewNetBuffer(),
+			in:       make([]uint64, len(c.Inputs())*wd),
+			st:       make([]uint64, len(c.DFFs())*wd),
+			good:     e.NewWideNetBuffer(wd),
+			faulty:   e.NewWideNetBuffer(wd),
 			detected: detected,
 		}
 	}
-	// simWord evaluates the good machine for pattern word w and checks
-	// the faults in [lo, hi) that s.detected has not yet seen.
-	simWord := func(s *fsState, w, lo, hi int) {
-		rng := sim.NewRandAt(opt.Seed, uint64(w)*stride)
-		rng.Fill(s.in)
-		rng.Fill(s.st)
-		e.Eval(s.in, s.st, s.good)
+	// simWide evaluates the good machine for wide word t (serial words
+	// t*wd .. t*wd+lanes-1) and checks the faults in [lo, hi) that
+	// s.detected has not yet seen.
+	simWide := func(s *fsState, t, lo, hi int) {
+		base := t * wd
+		lanes := words - base
+		if lanes > wd {
+			lanes = wd
+		}
+		rng := sim.NewWideRandAt(opt.Seed, uint64(base), stride, wd)
+		rng.FillWide(s.in)
+		rng.FillWide(s.st)
+		e.EvalWide(wd, s.in, s.st, s.good)
 		for fi := lo; fi < hi; fi++ {
 			if s.detected[fi] {
 				continue
@@ -140,18 +161,30 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 				forced = ^uint64(0)
 			}
 			// Activation: patterns where the good value differs from
-			// the stuck value.
-			if s.good[f.Net]^forced == 0 {
+			// the stuck value. Only live lanes count.
+			active := false
+			for k := 0; k < lanes; k++ {
+				if s.good[int(f.Net)*wd+k]^forced != 0 {
+					active = true
+					break
+				}
+			}
+			if !active {
 				continue
 			}
 			copy(s.faulty, s.good)
-			s.faulty[f.Net] = forced
-			for _, id := range cones[fi] {
-				evalGateWord(c, id, s.faulty)
+			for k := 0; k < wd; k++ {
+				s.faulty[int(f.Net)*wd+k] = forced
 			}
+			sim.EvalConeWide(c, cones[fi], wd, s.faulty)
 			for _, o := range obs {
-				if s.faulty[o]^s.good[o] != 0 {
-					s.detected[fi] = true
+				for k := 0; k < lanes; k++ {
+					if s.faulty[int(o)*wd+k]^s.good[int(o)*wd+k] != 0 {
+						s.detected[fi] = true
+						break
+					}
+				}
+				if s.detected[fi] {
 					break
 				}
 			}
@@ -169,7 +202,7 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 		_, _ = engine.Run(len(faults), engine.Options{Workers: opt.Workers, Grain: grain},
 			func(int) *fsState { return newState(detected) },
 			func(s *fsState, b engine.Batch) {
-				for w := 0; w < words; w++ {
+				for t := 0; t < wideWords; t++ {
 					remaining := 0
 					for fi := b.Start; fi < b.End; fi++ {
 						if !s.detected[fi] {
@@ -179,18 +212,19 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 					if remaining == 0 {
 						return
 					}
-					simWord(s, w, b.Start, b.End)
+					simWide(s, t, b.Start, b.End)
 				}
 			})
 	} else {
 		// Pattern-sharded: every worker grades the full fault list over
-		// its word batches with a private detection map; the final map
-		// is the OR across workers.
-		states, _ := engine.Run(words, engine.Options{Workers: opt.Workers},
+		// its wide-word batches with a private detection map; the final
+		// map is the OR across workers.
+		states, _ := engine.Run(wideWords,
+			engine.Options{Workers: opt.Workers, Grain: engine.GrainForWidth(wd)},
 			func(int) *fsState { return newState(make([]bool, len(faults))) },
 			func(s *fsState, b engine.Batch) {
-				for w := b.Start; w < b.End; w++ {
-					simWord(s, w, 0, len(faults))
+				for t := b.Start; t < b.End; t++ {
+					simWide(s, t, 0, len(faults))
 				}
 			})
 		for _, s := range states {
@@ -213,46 +247,6 @@ func FaultSimOpt(c *netlist.Circuit, faults []Fault, opt FaultSimOptions) (*Faul
 		cov = float64(nDet) / float64(len(faults))
 	}
 	return &FaultSimResult{Detected: detected, Coverage: cov, Patterns: words * 64}, nil
-}
-
-// evalGateWord recomputes one gate's 64-pattern word in place.
-func evalGateWord(c *netlist.Circuit, id netlist.GateID, nets []uint64) {
-	g := c.Gate(id)
-	var v uint64
-	switch g.Type {
-	case netlist.Input, netlist.DFF, netlist.TieHi, netlist.TieLo:
-		return
-	case netlist.Buf, netlist.Output:
-		v = nets[g.Fanin[0]]
-	case netlist.Not:
-		v = ^nets[g.Fanin[0]]
-	case netlist.And, netlist.Nand:
-		v = ^uint64(0)
-		for _, f := range g.Fanin {
-			v &= nets[f]
-		}
-		if g.Type == netlist.Nand {
-			v = ^v
-		}
-	case netlist.Or, netlist.Nor:
-		for _, f := range g.Fanin {
-			v |= nets[f]
-		}
-		if g.Type == netlist.Nor {
-			v = ^v
-		}
-	case netlist.Xor, netlist.Xnor:
-		for _, f := range g.Fanin {
-			v ^= nets[f]
-		}
-		if g.Type == netlist.Xnor {
-			v = ^v
-		}
-	case netlist.Mux:
-		s := nets[g.Fanin[0]]
-		v = (^s & nets[g.Fanin[1]]) | (s & nets[g.Fanin[2]])
-	}
-	nets[id] = v
 }
 
 // PopCountCube returns the number of minterms over n variables covered

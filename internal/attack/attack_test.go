@@ -365,7 +365,8 @@ func TestSATAttackPortfolio(t *testing.T) {
 
 // TestSATAttackBatchSizes: every batch size must recover a correct key;
 // batching only changes how many distinguishing inputs are mined per
-// bit-parallel oracle evaluation.
+// bit-parallel oracle evaluation. Sizes above 64 ride the wide
+// simulation kernel (one lane per 64 queries, up to sim.MaxWidth×64).
 func TestSATAttackBatchSizes(t *testing.T) {
 	orig, err := bmarks.Generate(bmarks.Spec{Name: "satb", Inputs: 10, Outputs: 5, Gates: 150, Seed: 190})
 	if err != nil {
@@ -375,8 +376,10 @@ func TestSATAttackBatchSizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, batch := range []int{1, 4, 64} {
-		res, err := SATAttackOpt(lk, orig, SATAttackOptions{MaxIter: 300, BatchSize: batch})
+	for _, batch := range []int{1, 4, 64, 128, 512} {
+		// Large batches mine up to BatchSize queries per oracle round,
+		// many redundant, so give them query-budget headroom.
+		res, err := SATAttackOpt(lk, orig, SATAttackOptions{MaxIter: 4 * 512, BatchSize: batch})
 		if err != nil {
 			t.Fatalf("batch %d: %v", batch, err)
 		}

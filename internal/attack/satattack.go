@@ -53,12 +53,13 @@ type SATAttackOptions struct {
 	MaxIter int
 	// BatchSize is the number of distinguishing inputs mined per oracle
 	// round; one bit-parallel oracle Eval answers the whole batch
-	// (capped at 64, the simulator's word width). The default of 1
-	// minimizes total queries and wall clock — every input is mined
-	// with all previous constraints in place; larger batches trade
-	// extra (partially redundant) queries for up to 64× fewer oracle
-	// round trips, which wins when the oracle is a physical chip rather
-	// than an in-process simulation.
+	// (capped at 512 = sim.MaxWidth×64, the simulator's widest pass;
+	// query t rides lane t/64, bit t%64). The default of 1 minimizes
+	// total queries and wall clock — every input is mined with all
+	// previous constraints in place; larger batches trade extra
+	// (partially redundant) queries for up to 512× fewer oracle round
+	// trips, which wins when the oracle is a physical chip rather than
+	// an in-process simulation.
 	BatchSize int
 	// PortfolioWorkers > 1 runs every per-query solve on a
 	// sat.Portfolio of that many diverging solver instances (first
@@ -124,8 +125,14 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	if batch <= 0 {
 		batch = 1
 	}
-	if batch > 64 {
-		batch = 64
+	if batch > sim.MaxWidth*64 {
+		batch = sim.MaxWidth * 64
+	}
+	// The narrowest simulation width whose lanes cover the batch; one
+	// wide Eval answers all of it.
+	simW := 1
+	for !sim.ValidWidth(simW) || simW*64 < batch {
+		simW++
 	}
 	c := lk.Circuit
 	var s sat.Interface = sat.New()
@@ -292,9 +299,9 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 	if err != nil {
 		return nil, err
 	}
-	oin := make([]uint64, len(oracle.Inputs()))
-	ost := make([]uint64, len(oracle.DFFs()))
-	nets := ev.NewNetBuffer()
+	oin := make([]uint64, len(oracle.Inputs())*simW)
+	ost := make([]uint64, len(oracle.DFFs())*simW)
+	nets := ev.NewWideNetBuffer(simW)
 
 	cof := newAIGCof(g, leafDi, leafKey, obsLits)
 
@@ -352,7 +359,8 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 		}
 
 		// One bit-parallel oracle evaluation answers the whole batch:
-		// bit t of every input word carries distinguishing input t.
+		// distinguishing input t rides lane t/64, bit t%64 of every
+		// input's wide word.
 		for i := range oin {
 			oin[i] = 0
 		}
@@ -360,31 +368,33 @@ func SATAttackOpt(lk *locking.Locked, oracle *netlist.Circuit, opt SATAttackOpti
 			ost[i] = 0
 		}
 		for t, di := range dis {
+			lane, bit := t/64, uint(t%64)
 			for i, dv := range diVars {
 				if !di[i] {
 					continue
 				}
 				if dv.inPos >= 0 {
-					oin[dv.inPos] |= 1 << uint(t)
+					oin[dv.inPos*simW+lane] |= 1 << bit
 				}
 				if dv.stPos >= 0 {
-					ost[dv.stPos] |= 1 << uint(t)
+					ost[dv.stPos*simW+lane] |= 1 << bit
 				}
 			}
 		}
-		ev.Eval(oin, ost, nets)
+		ev.EvalWide(simW, oin, ost, nets)
 		res.OracleEvals++
 
 		// Constrain both keyed copies to match the oracle on every
 		// input of the batch, over the key-dependent cone only. The
 		// cofactor pass is key-independent and runs once per input.
 		for t, di := range dis {
+			lane, bit := t/64, uint(t%64)
 			obs := make([]bool, 0, len(oracle.Outputs())+len(oracle.DFFs()))
 			for _, o := range oracle.Outputs() {
-				obs = append(obs, nets[o]>>uint(t)&1 == 1)
+				obs = append(obs, nets[int(o)*simW+lane]>>bit&1 == 1)
 			}
 			for _, ff := range oracle.DFFs() {
-				obs = append(obs, nets[oracle.Gate(ff).Fanin[0]]>>uint(t)&1 == 1)
+				obs = append(obs, nets[int(oracle.Gate(ff).Fanin[0])*simW+lane]>>bit&1 == 1)
 			}
 			cof.cofactor(di)
 			if err := cof.constrain(s, k1, obs); err != nil {

@@ -44,6 +44,21 @@ func (b Batch) Len() int { return b.End - b.Start }
 // handoff, small enough to load-balance uneven kernels.
 const DefaultGrain = 64
 
+// GrainForWidth scales the default grain down by a simulation word
+// width: at width w one item covers w×64 patterns, so dividing keeps a
+// batch at the same ~4096-pattern cost regardless of width and the
+// sharding balanced. The result never drops below 1.
+func GrainForWidth(w int) int {
+	if w <= 1 {
+		return DefaultGrain
+	}
+	g := DefaultGrain / w
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // ErrStopped is returned by Run when Options.Stop was observed set
 // before all batches completed. The returned states are partial and
 // must not be merged into results.

@@ -74,6 +74,10 @@ type ITCOptions struct {
 	// the HD/OER runs (0 = GOMAXPROCS, 1 = serial). Results are
 	// bit-identical for every setting.
 	SimWorkers int
+	// SimWidth is the simulation width in 64-pattern words per net (1,
+	// 4 or 8; 0 auto-selects per run). Tables are byte-identical at
+	// every width.
+	SimWidth int
 	// SolverWorkers is passed to every job's flow.Config: LEC SAT
 	// queries race that many portfolio members (0/1 = single solver).
 	SolverWorkers int
@@ -304,6 +308,7 @@ func runOneITC(ctx context.Context, bench string, splitLayer int, opt ITCOptions
 		SplitLayer:    splitLayer,
 		Seed:          opt.Seed + uint64(splitLayer)*1000,
 		UseATPGLock:   true,
+		SimWidth:      opt.SimWidth,
 		SolverWorkers: opt.SolverWorkers,
 	})
 	if err != nil {
@@ -325,6 +330,7 @@ func runOneITC(ctx context.Context, bench string, splitLayer int, opt ITCOptions
 		Patterns: opt.Patterns,
 		Seed:     opt.Seed + 8,
 		Workers:  opt.SimWorkers,
+		Width:    opt.SimWidth,
 		Stop:     stop,
 	})
 	if err != nil {
@@ -369,6 +375,8 @@ type ISCASOptions struct {
 	// SimWorkers caps the per-job pattern-simulation worker pool
 	// (0 = GOMAXPROCS, 1 = serial).
 	SimWorkers int
+	// SimWidth is the simulation width (1, 4 or 8; 0 auto-selects).
+	SimWidth int
 	// SolverWorkers is passed to every job's flow.Config (portfolio
 	// LEC; 0/1 = single solver).
 	SolverWorkers int
@@ -486,6 +494,7 @@ func runOneISCAS(ctx context.Context, bench string, opt ISCASOptions) (ISCASRow,
 			Patterns: opt.Patterns,
 			Seed:     opt.Seed + 6,
 			Workers:  opt.SimWorkers,
+			Width:    opt.SimWidth,
 			Stop:     stop,
 		})
 		if err != nil {
@@ -501,7 +510,7 @@ func runOneISCAS(ctx context.Context, bench string, opt ISCASOptions) (ISCASRow,
 	// Proposed: the full SplitLock flow; CCR reports the key-nets'
 	// physical CCR (Table III note).
 	art, err := Run(ctx, orig, Config{KeyBits: opt.KeyBits, SplitLayer: 4, Seed: opt.Seed + 9,
-		UseATPGLock: true, SolverWorkers: opt.SolverWorkers})
+		UseATPGLock: true, SimWidth: opt.SimWidth, SolverWorkers: opt.SolverWorkers})
 	if err != nil {
 		return row, err
 	}
@@ -514,6 +523,7 @@ func runOneISCAS(ctx context.Context, bench string, opt ISCASOptions) (ISCASRow,
 		Patterns: opt.Patterns,
 		Seed:     opt.Seed + 6,
 		Workers:  opt.SimWorkers,
+		Width:    opt.SimWidth,
 		Stop:     stop,
 	})
 	if err != nil {

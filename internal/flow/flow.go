@@ -54,6 +54,11 @@ type Config struct {
 	// of random patterns simulated before the SAT miter runs (0 = the
 	// checker default, negative disables the prefilter and forces SAT).
 	LECPrefilterPatterns int
+	// SimWidth is the simulation width in 64-pattern words per net (1,
+	// 4 or 8; 0 auto-selects per run). Simulation results — the LEC
+	// prefilter, large-design equivalence runs, HD/OER tables — are
+	// bit-identical at every width, so this is a pure speed knob.
+	SimWidth int
 	// LECLegacyEncoder routes the Fig. 3 LEC step through the pre-AIG
 	// Tseitin encoder instead of the strashed AND-inverter graph
 	// (benchmark baseline; the AIG path is the default).
@@ -221,6 +226,7 @@ func verifyEquivalence(ctx context.Context, orig, locked *netlist.Circuit, cfg C
 		res, err := lec.Check(orig, locked, lec.Options{
 			Seed:              cfg.Seed,
 			PrefilterPatterns: cfg.LECPrefilterPatterns,
+			SimWidth:          cfg.SimWidth,
 			LegacyEncoder:     cfg.LECLegacyEncoder,
 			PortfolioWorkers:  cfg.SolverWorkers,
 			// Experiments must reproduce bit-identically on any host
@@ -242,7 +248,7 @@ func verifyEquivalence(ctx context.Context, orig, locked *netlist.Circuit, cfg C
 		return &res.Stats, nil
 	}
 	eq, err := sim.EquivalentOpt(orig, locked, sim.CompareOptions{
-		Patterns: 1 << 16, Seed: cfg.Seed, Stop: stop,
+		Patterns: 1 << 16, Seed: cfg.Seed, Width: cfg.SimWidth, Stop: stop,
 	})
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -301,7 +307,9 @@ func MeasurePPA(art *Artifacts, variant LayoutVariant) (metrics.PPA, error) {
 	if err != nil {
 		return metrics.PPA{}, err
 	}
-	act, err := sim.Activity(c, 2048, cfg.Seed+2)
+	act, err := sim.ActivityOpt(c, sim.ActivityOptions{
+		Patterns: 2048, Seed: cfg.Seed + 2, Width: cfg.SimWidth,
+	})
 	if err != nil {
 		return metrics.PPA{}, err
 	}

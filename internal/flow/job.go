@@ -67,6 +67,12 @@ type JobSpec struct {
 	// SolverWorkers is the portfolio width the job asks for; the
 	// daemon's pool may grant fewer under load (0/1 = single solver).
 	SolverWorkers int `json:"solver_workers,omitempty"`
+	// SimWidth is the simulation width in 64-pattern words per net (1,
+	// 4 or 8; 0 auto-selects per run). Results are bit-identical at
+	// every width, so — like SolverWorkers in deterministic mode — it
+	// is excluded from cache keys and table fingerprints: a cached or
+	// checkpointed result satisfies the same job at any width.
+	SimWidth int `json:"sim_width,omitempty"`
 	// Racing selects the portfolio's concurrent racing mode: lower
 	// latency, but which model/counterexample wins is scheduling-
 	// dependent, so racing jobs are never cached. The default
@@ -125,6 +131,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.KeyBits < 0 || s.KeyBits > 4096 {
 		return fmt.Errorf("flow: keybits %d out of range", s.KeyBits)
+	}
+	if s.SimWidth != 0 && !sim.ValidWidth(s.SimWidth) {
+		return fmt.Errorf("flow: sim_width %d unsupported (want 0, 1, 4 or 8)", s.SimWidth)
 	}
 	return nil
 }
@@ -406,6 +415,7 @@ func (j *Job) runLock(ctx context.Context, rt JobRuntime) (any, error) {
 		SplitLayer:    j.Spec.SplitLayer,
 		Seed:          j.lockSeed(),
 		UseATPGLock:   !j.Spec.RandomLock,
+		SimWidth:      j.Spec.SimWidth,
 		SolverWorkers: j.Spec.SolverWorkers,
 		LECSolver:     solver,
 		Progress:      func(stage, msg string) { rt.emit(stage, "%s", msg) },
@@ -436,6 +446,7 @@ func (j *Job) runVerify(ctx context.Context, rt JobRuntime) (any, error) {
 	res, err := lec.Check(j.orig, j.lk.Circuit, lec.Options{
 		Seed:              j.Spec.Seed,
 		PrefilterPatterns: j.Spec.Patterns,
+		SimWidth:          j.Spec.SimWidth,
 		Solver:            solver,
 		Stop:              stop,
 	})
@@ -488,6 +499,7 @@ func (j *Job) runAttack(ctx context.Context, rt JobRuntime) (any, error) {
 	eq, err := sim.EquivalentOpt(j.orig, recovered, sim.CompareOptions{
 		Patterns: patterns,
 		Seed:     j.Spec.Seed + 3,
+		Width:    j.Spec.SimWidth,
 		Stop:     stop,
 	})
 	if err != nil {
@@ -526,6 +538,7 @@ func (j *Job) runTable(ctx context.Context, rt JobRuntime) (any, error) {
 		Seed:          j.Spec.Seed,
 		SplitLayers:   j.Spec.SplitLayers,
 		Parallel:      !j.Spec.NoParallel,
+		SimWidth:      j.Spec.SimWidth,
 		SolverWorkers: j.Spec.SolverWorkers,
 		Manifest:      rt.Manifest,
 		Progress: func(key string, done, total int) {

@@ -39,6 +39,11 @@ type CompareOptions struct {
 	// words are sharded in fixed batches and each batch's stimulus is
 	// an O(1) jump into the same seed stream.
 	Workers int
+	// Width is the simulation width in 64-pattern words per net (1, 4
+	// or 8; 0 auto-selects from the pattern count). Results are
+	// bit-identical at every width: lane k of a wide word replays
+	// exactly the serial stream's word base+k.
+	Width int
 	// Stop, when non-nil and set, cancels the comparison; Compare then
 	// returns engine.ErrStopped. A run that completes before the flag is
 	// observed is unaffected, so results stay bit-identical under
@@ -82,9 +87,16 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 	if obsBits == 0 {
 		return DiffStats{}, fmt.Errorf("sim: circuits have no observables")
 	}
+	w, err := resolveWidth(opt.Width, words)
+	if err != nil {
+		return DiffStats{}, err
+	}
+	// One engine item is one wide word of w×64 patterns; the last item
+	// may have idle lanes, which are simulated but not counted.
+	items := (words + w - 1) / w
 
-	// Each pattern word consumes this many stimulus words, so a worker
-	// starting at word w jumps the stream by w*stride.
+	// Each pattern word consumes this many stimulus words, so lane k of
+	// wide item t jumps the stream to word (t*w+k)*stride.
 	stride := uint64(len(a.Inputs()) + len(a.DFFs()))
 
 	type cmpState struct {
@@ -93,48 +105,60 @@ func Compare(a, b *netlist.Circuit, opt CompareOptions) (DiffStats, error) {
 		outA, outB, nsA, nsB []uint64
 		hdBits, errPatterns  int
 	}
-	states, err := engine.Run(words, engine.Options{Workers: opt.Workers, Stop: opt.Stop},
+	states, err := engine.Run(items,
+		engine.Options{Workers: opt.Workers, Grain: engine.GrainForWidth(w), Stop: opt.Stop},
 		func(int) *cmpState {
 			return &cmpState{
-				inA:   make([]uint64, len(a.Inputs())),
-				inB:   make([]uint64, len(b.Inputs())),
-				stA:   make([]uint64, len(a.DFFs())),
-				stB:   make([]uint64, len(b.DFFs())),
-				netsA: ea.NewNetBuffer(),
-				netsB: eb.NewNetBuffer(),
+				inA:   make([]uint64, len(a.Inputs())*w),
+				inB:   make([]uint64, len(b.Inputs())*w),
+				stA:   make([]uint64, len(a.DFFs())*w),
+				stB:   make([]uint64, len(b.DFFs())*w),
+				netsA: ea.NewWideNetBuffer(w),
+				netsB: eb.NewWideNetBuffer(w),
 			}
 		},
 		func(s *cmpState, batch engine.Batch) {
-			rng := NewRandAt(opt.Seed, uint64(batch.Start)*stride)
-			for w := batch.Start; w < batch.End; w++ {
-				rng.Fill(s.inA)
+			for t := batch.Start; t < batch.End; t++ {
+				base := t * w
+				lanes := words - base
+				if lanes > w {
+					lanes = w
+				}
+				rng := NewWideRandAt(opt.Seed, uint64(base), stride, w)
+				rng.FillWide(s.inA)
 				for i, j := range inMap {
-					s.inB[j] = s.inA[i]
+					copy(s.inB[j*w:(j+1)*w], s.inA[i*w:])
 				}
-				rng.Fill(s.stA)
+				rng.FillWide(s.stA)
 				for i, j := range stMap {
-					s.stB[j] = s.stA[i]
+					copy(s.stB[j*w:(j+1)*w], s.stA[i*w:])
 				}
-				ea.Eval(s.inA, s.stA, s.netsA)
-				eb.Eval(s.inB, s.stB, s.netsB)
-				s.outA = ea.OutputWords(s.netsA, s.outA)
-				s.outB = eb.OutputWords(s.netsB, s.outB)
-				var anyDiff uint64
-				for i := range s.outA {
-					d := s.outA[i] ^ s.outB[i]
-					s.hdBits += bits.OnesCount64(d)
-					anyDiff |= d
-				}
-				if opt.ObserveState {
-					s.nsA = ea.NextStateWords(s.netsA, s.nsA)
-					s.nsB = eb.NextStateWords(s.netsB, s.nsB)
-					for i, j := range stMap {
-						d := s.nsA[i] ^ s.nsB[j]
+				ea.EvalWide(w, s.inA, s.stA, s.netsA)
+				eb.EvalWide(w, s.inB, s.stB, s.netsB)
+				s.outA = ea.OutputWordsWide(w, s.netsA, s.outA)
+				s.outB = eb.OutputWordsWide(w, s.netsB, s.outB)
+				var anyDiff [MaxWidth]uint64
+				for i := 0; i < len(s.outA); i += w {
+					for k := 0; k < lanes; k++ {
+						d := s.outA[i+k] ^ s.outB[i+k]
 						s.hdBits += bits.OnesCount64(d)
-						anyDiff |= d
+						anyDiff[k] |= d
 					}
 				}
-				s.errPatterns += bits.OnesCount64(anyDiff)
+				if opt.ObserveState {
+					s.nsA = ea.NextStateWordsWide(w, s.netsA, s.nsA)
+					s.nsB = eb.NextStateWordsWide(w, s.netsB, s.nsB)
+					for i, j := range stMap {
+						for k := 0; k < lanes; k++ {
+							d := s.nsA[i*w+k] ^ s.nsB[j*w+k]
+							s.hdBits += bits.OnesCount64(d)
+							anyDiff[k] |= d
+						}
+					}
+				}
+				for k := 0; k < lanes; k++ {
+					s.errPatterns += bits.OnesCount64(anyDiff[k])
+				}
 			}
 		})
 	if err != nil {
@@ -160,7 +184,7 @@ func Equivalent(a, b *netlist.Circuit, patterns int, seed uint64) (bool, error) 
 }
 
 // EquivalentOpt is Equivalent with full CompareOptions (worker cap,
-// stop flag). ObserveState is forced on: equivalence must cover
+// width, stop flag). ObserveState is forced on: equivalence must cover
 // next-state functions.
 func EquivalentOpt(a, b *netlist.Circuit, opt CompareOptions) (bool, error) {
 	opt.ObserveState = true
@@ -191,46 +215,87 @@ func matchByName(a, b *netlist.Circuit, as, bs []netlist.GateID, kind string) ([
 	return m, nil
 }
 
+// ActivityOptions tunes ActivityOpt.
+type ActivityOptions struct {
+	// Patterns is the number of random patterns (rounded up to a
+	// multiple of 64). Defaults to 4096.
+	Patterns int
+	// Seed selects the stimulus stream.
+	Seed uint64
+	// Workers caps the simulation worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Width is the simulation width (1, 4 or 8; 0 auto-selects).
+	// Activity estimates are bit-identical at every width.
+	Width int
+	// Stop, when non-nil and set, cancels the estimation; ActivityOpt
+	// then returns engine.ErrStopped.
+	Stop *atomic.Bool
+}
+
 // Activity estimates per-net switching activity (2·p·(1−p) with p the
 // signal probability) over random patterns. The result is indexed by
-// GateID and feeds the dynamic power model. Pattern words are sharded
-// across the engine worker pool; the count merge is exact, so results
-// do not depend on the worker count.
+// GateID and feeds the dynamic power model.
 func Activity(c *netlist.Circuit, patterns int, seed uint64) ([]float64, error) {
+	return ActivityOpt(c, ActivityOptions{Patterns: patterns, Seed: seed})
+}
+
+// ActivityOpt is Activity with worker, width and cancellation options.
+// Pattern words are sharded across the engine worker pool; the count
+// merge is exact, so results do not depend on the worker count or the
+// simulation width.
+func ActivityOpt(c *netlist.Circuit, opt ActivityOptions) ([]float64, error) {
 	e, err := NewEvaluator(c)
 	if err != nil {
 		return nil, err
 	}
-	if patterns <= 0 {
-		patterns = 4096
+	if opt.Patterns <= 0 {
+		opt.Patterns = 4096
 	}
-	words := (patterns + 63) / 64
+	words := (opt.Patterns + 63) / 64
+	w, err := resolveWidth(opt.Width, words)
+	if err != nil {
+		return nil, err
+	}
+	items := (words + w - 1) / w
 	stride := uint64(len(c.Inputs()) + len(c.DFFs()))
 
 	type actState struct {
 		in, st, nets []uint64
 		ones         []int
 	}
-	states, _ := engine.Run(words, engine.Options{},
+	states, err := engine.Run(items,
+		engine.Options{Workers: opt.Workers, Grain: engine.GrainForWidth(w), Stop: opt.Stop},
 		func(int) *actState {
 			return &actState{
-				in:   make([]uint64, len(c.Inputs())),
-				st:   make([]uint64, len(c.DFFs())),
-				nets: e.NewNetBuffer(),
+				in:   make([]uint64, len(c.Inputs())*w),
+				st:   make([]uint64, len(c.DFFs())*w),
+				nets: e.NewWideNetBuffer(w),
 				ones: make([]int, c.NumIDs()),
 			}
 		},
 		func(s *actState, batch engine.Batch) {
-			rng := NewRandAt(seed, uint64(batch.Start)*stride)
-			for w := batch.Start; w < batch.End; w++ {
-				rng.Fill(s.in)
-				rng.Fill(s.st)
-				e.Eval(s.in, s.st, s.nets)
-				for i, v := range s.nets {
-					s.ones[i] += bits.OnesCount64(v)
+			for t := batch.Start; t < batch.End; t++ {
+				base := t * w
+				lanes := words - base
+				if lanes > w {
+					lanes = w
+				}
+				rng := NewWideRandAt(opt.Seed, uint64(base), stride, w)
+				rng.FillWide(s.in)
+				rng.FillWide(s.st)
+				e.EvalWide(w, s.in, s.st, s.nets)
+				for i := range s.ones {
+					n := 0
+					for k := 0; k < lanes; k++ {
+						n += bits.OnesCount64(s.nets[i*w+k])
+					}
+					s.ones[i] += n
 				}
 			}
 		})
+	if err != nil {
+		return nil, err
+	}
 
 	ones := make([]int, c.NumIDs())
 	for _, s := range states {
@@ -308,27 +373,28 @@ func TruthTable(c *netlist.Circuit, target netlist.GateID, support []netlist.Gat
 }
 
 // dependentCone returns the gates between the support frontier and the
-// target (target included, support excluded).
+// target (target included, support excluded). The traversal is an
+// iterative worklist: deep ITC'99 cones would overflow the goroutine
+// stack under recursion.
 func dependentCone(c *netlist.Circuit, target netlist.GateID, support []netlist.GateID) map[netlist.GateID]bool {
 	stop := make(map[netlist.GateID]bool, len(support))
 	for _, s := range support {
 		stop[s] = true
 	}
 	cone := make(map[netlist.GateID]bool)
-	var visit func(id netlist.GateID)
-	visit = func(id netlist.GateID) {
+	work := []netlist.GateID{target}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
 		if cone[id] || stop[id] {
-			return
+			continue
 		}
 		cone[id] = true
 		if c.Gate(id).Type == netlist.DFF {
-			return
+			continue
 		}
-		for _, f := range c.Gate(id).Fanin {
-			visit(f)
-		}
+		work = append(work, c.Gate(id).Fanin...)
 	}
-	visit(target)
 	return cone
 }
 

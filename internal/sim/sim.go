@@ -1,7 +1,14 @@
-// Package sim implements 64-way bit-parallel logic simulation of
-// netlist circuits, deterministic random stimulus generation, and the
+// Package sim implements bit-parallel logic simulation of netlist
+// circuits, deterministic random stimulus generation, and the
 // output-difference metrics used throughout the paper's evaluation
 // (Hamming distance and output error rate over random pattern runs).
+//
+// Simulation is word-parallel: every net carries W machine words of 64
+// patterns each (W ∈ {1, 4, 8}), stored as a flat []uint64 with stride
+// W so the compiled inner loops auto-vectorize. Width never changes
+// results — lane k of a wide word carries exactly the 64-pattern word
+// the serial stream would have produced at position base+k (see
+// WideRand) — it only changes how many patterns one pass evaluates.
 package sim
 
 import (
@@ -11,28 +18,54 @@ import (
 )
 
 // Evaluator is a compiled simulator for one circuit: the topological
-// order is flattened into a dense op list with slice-indexed operands,
-// so the inner Eval loop performs no map lookups and never touches the
-// circuit graph. It is safe for concurrent use as long as each
-// goroutine supplies its own net buffer.
+// order is flattened into a dense op list with specialized opcodes
+// (dedicated 2-input and 1-input paths instead of a generic fanin
+// loop), so the inner Eval loop performs no map lookups and never
+// touches the circuit graph. It is safe for concurrent use as long as
+// each goroutine supplies its own net buffer.
 type Evaluator struct {
 	c      *netlist.Circuit
 	nIn    int
 	nState int
 	// ops is the evaluation plan in topological order; fanins is the
-	// flat operand pool the ops index into.
+	// flat operand pool that the wide (≥3-input) ops index into.
 	ops    []evalOp
 	fanins []int32
 }
 
-// evalOp is one compiled gate evaluation. For Input/DFF sources, src is
-// the index into the input/state vector; for everything else src is the
-// offset of the gate's n operands in the fanin pool.
+// opcode selects the specialized evaluation path for one compiled gate.
+// The dominant 2-input case stores both fanins inline in the op; only
+// Mux and ≥3-input gates go through the fanin pool.
+type opcode uint8
+
+const (
+	opInput opcode = iota // a = primary-input position
+	opState               // a = flip-flop position
+	opTieHi
+	opTieLo
+	opBuf   // a = fanin net
+	opNot   // a = fanin net
+	opAnd2  // a, b = fanin nets
+	opNand2 // a, b = fanin nets
+	opOr2   // a, b = fanin nets
+	opNor2  // a, b = fanin nets
+	opXor2  // a, b = fanin nets
+	opXnor2 // a, b = fanin nets
+	opMux   // a = fanin-pool offset of {sel, d0, d1}
+	opAndN  // a = fanin-pool offset, b = fanin count
+	opNandN
+	opOrN
+	opNorN
+	opXorN
+	opXnorN
+)
+
+// evalOp is one compiled gate evaluation. The meaning of a and b
+// depends on the opcode; see the opcode constants.
 type evalOp struct {
-	typ netlist.GateType
-	out int32
-	src int32
-	n   int32
+	op   opcode
+	out  int32
+	a, b int32
 }
 
 // NewEvaluator compiles the circuit for simulation. The circuit must
@@ -58,24 +91,87 @@ func NewEvaluator(c *netlist.Circuit) (*Evaluator, error) {
 	}
 	for _, id := range order {
 		g := c.Gate(id)
-		op := evalOp{typ: g.Type, out: int32(id)}
+		op := evalOp{out: int32(id)}
 		switch g.Type {
 		case netlist.Input:
-			op.src = inPos[id]
+			op.op, op.a = opInput, inPos[id]
 		case netlist.DFF:
-			op.src = statePos[id]
-		case netlist.TieHi, netlist.TieLo:
-			// no operands
-		default:
-			op.src = int32(len(e.fanins))
-			op.n = int32(len(g.Fanin))
+			op.op, op.a = opState, statePos[id]
+		case netlist.TieHi:
+			op.op = opTieHi
+		case netlist.TieLo:
+			op.op = opTieLo
+		case netlist.Buf, netlist.Output:
+			op.op, op.a = opBuf, int32(g.Fanin[0])
+		case netlist.Not:
+			op.op, op.a = opNot, int32(g.Fanin[0])
+		case netlist.Mux:
+			op.op, op.a = opMux, int32(len(e.fanins))
 			for _, f := range g.Fanin {
 				e.fanins = append(e.fanins, int32(f))
 			}
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
+			op = compileNary(e, g, op)
+		default:
+			return nil, fmt.Errorf("sim: gate %d has unknown type %v", id, g.Type)
 		}
 		e.ops = append(e.ops, op)
 	}
 	return e, nil
+}
+
+// compileNary lowers an associative gate to its specialized opcode:
+// degenerate arities collapse to constants or inverters (matching the
+// identity element of the generic fold), 2-input gates inline both
+// fanins, and wider gates fall back to the fanin pool.
+func compileNary(e *Evaluator, g *netlist.Gate, op evalOp) evalOp {
+	var two, n opcode
+	inverted := false
+	switch g.Type {
+	case netlist.And:
+		two, n = opAnd2, opAndN
+	case netlist.Nand:
+		two, n, inverted = opNand2, opNandN, true
+	case netlist.Or:
+		two, n = opOr2, opOrN
+	case netlist.Nor:
+		two, n, inverted = opNor2, opNorN, true
+	case netlist.Xor:
+		two, n = opXor2, opXorN
+	case netlist.Xnor:
+		two, n, inverted = opXnor2, opXnorN, true
+	}
+	switch len(g.Fanin) {
+	case 0:
+		// Fold identity: And()=1, Or()=Xor()=0; inversions flip it.
+		hi := g.Type == netlist.And
+		if inverted {
+			hi = !hi
+		}
+		if g.Type == netlist.Nand {
+			hi = false
+		}
+		if hi {
+			op.op = opTieHi
+		} else {
+			op.op = opTieLo
+		}
+	case 1:
+		if inverted {
+			op.op = opNot
+		} else {
+			op.op = opBuf
+		}
+		op.a = int32(g.Fanin[0])
+	case 2:
+		op.op, op.a, op.b = two, int32(g.Fanin[0]), int32(g.Fanin[1])
+	default:
+		op.op, op.a, op.b = n, int32(len(e.fanins)), int32(len(g.Fanin))
+		for _, f := range g.Fanin {
+			e.fanins = append(e.fanins, int32(f))
+		}
+	}
+	return op
 }
 
 // Circuit returns the circuit this evaluator was compiled from.
@@ -94,62 +190,10 @@ func (e *Evaluator) NewNetBuffer() []uint64 { return make([]uint64, e.c.NumIDs()
 // input (bit i of word j = value of input j in pattern i); state holds
 // one word per flip-flop in DFFs() order (may be nil when the circuit
 // has no flip-flops). nets must have length NumIDs and receives the
-// value of every net.
+// value of every net. Eval is the width-1 instantiation of the wide
+// kernel; see EvalWide.
 func (e *Evaluator) Eval(in, state, nets []uint64) {
-	fan := e.fanins
-	for i := range e.ops {
-		op := &e.ops[i]
-		var v uint64
-		switch op.typ {
-		case netlist.Input:
-			v = in[op.src]
-		case netlist.DFF:
-			if state != nil {
-				v = state[op.src]
-			}
-		case netlist.TieHi:
-			v = ^uint64(0)
-		case netlist.TieLo:
-			v = 0
-		case netlist.Buf, netlist.Output:
-			v = nets[fan[op.src]]
-		case netlist.Not:
-			v = ^nets[fan[op.src]]
-		case netlist.And:
-			v = ^uint64(0)
-			for _, f := range fan[op.src : op.src+op.n] {
-				v &= nets[f]
-			}
-		case netlist.Nand:
-			v = ^uint64(0)
-			for _, f := range fan[op.src : op.src+op.n] {
-				v &= nets[f]
-			}
-			v = ^v
-		case netlist.Or:
-			for _, f := range fan[op.src : op.src+op.n] {
-				v |= nets[f]
-			}
-		case netlist.Nor:
-			for _, f := range fan[op.src : op.src+op.n] {
-				v |= nets[f]
-			}
-			v = ^v
-		case netlist.Xor:
-			for _, f := range fan[op.src : op.src+op.n] {
-				v ^= nets[f]
-			}
-		case netlist.Xnor:
-			for _, f := range fan[op.src : op.src+op.n] {
-				v ^= nets[f]
-			}
-			v = ^v
-		case netlist.Mux:
-			s := nets[fan[op.src]]
-			v = (^s & nets[fan[op.src+1]]) | (s & nets[fan[op.src+2]])
-		}
-		nets[op.out] = v
-	}
+	evalPlan(e, lanesOf[[1]uint64](in), lanesOf[[1]uint64](state), lanesOf[[1]uint64](nets))
 }
 
 // OutputWords extracts the primary output values from a net buffer, in
