@@ -9,7 +9,14 @@
 //	GET  /v1/jobs             list all jobs
 //	GET  /v1/jobs/{id}        poll one job
 //	GET  /v1/jobs/{id}/events stream progress (NDJSON)
+//	POST /v1/cells            run one table cell (NDJSON dispatch stream)
 //	GET  /v1/healthz          liveness + counters
+//
+// The /v1/cells endpoint makes the daemon a remote worker for a
+// `tables -connect host:port` coordinator: cells are admitted under
+// their own concurrency bound (-maxcells) and stream heartbeats while
+// queued and while computing, so the coordinator's lease stays alive
+// exactly as long as the daemon is.
 //
 // Deterministic jobs (the default) are cached by the canonical
 // strashed-graph fingerprint of the locked circuit, so resubmitting an
@@ -46,6 +53,7 @@ func main() {
 		cacheEntries = flag.Int("cache", 128, "result cache entries")
 		jobTimeout   = flag.Duration("jobtimeout", 0, "per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "max wait for running jobs to checkpoint on shutdown")
+		maxCells     = flag.Int("maxcells", 0, "max concurrently running dispatched table cells (0 = same as -jobs)")
 	)
 	flag.Parse()
 	if err := run(*addr, server.ManagerOptions{
@@ -55,6 +63,7 @@ func main() {
 		SolverSlots:  *solverSlots,
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
+		MaxCells:     *maxCells,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "splitlockd:", err)
 		os.Exit(1)

@@ -29,6 +29,17 @@
 // resumed table is byte-identical to an uninterrupted run. -jobtimeout
 // bounds each job, -retries retries transient failures, and -merge
 // unions shard manifests from a split sweep.
+//
+// The Table I/II sweep can also be distributed across OS processes:
+// -workers N leases cells to N locally spawned worker processes, and
+// -connect host:port,... additionally (or instead) leases them to
+// remote splitlockd daemons. Workers that crash, hang, or return
+// garbage have their lease expired and the cell reassigned with
+// backoff; a cell that keeps killing workers is quarantined after
+// -crashbudget deaths and recorded on its row without stopping the
+// sweep. The final table and manifest are byte-identical to a
+// single-process run at any worker count. -faultpoints list prints
+// the fault-injection sites compiled into this binary.
 package main
 
 import (
@@ -38,11 +49,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bmarks"
+	"repro/internal/dispatch"
+	"repro/internal/faultpoint"
 	"repro/internal/flow"
 	"repro/internal/runmanifest"
 	"repro/internal/sim"
@@ -69,8 +83,35 @@ func main() {
 		manifestP  = flag.String("manifest", "", "checkpoint file for the Table I/II sweep: every completed cell is flushed there atomically")
 		resume     = flag.Bool("resume", false, "load -manifest and skip cells it already holds (the file must match this configuration)")
 		mergeSel   = flag.String("merge", "", "comma-separated shard manifests to union into -manifest, then exit")
+
+		workerMode  = flag.Bool("worker", false, "serve the dispatch worker protocol on stdin/stdout (spawned by a -workers coordinator; not for interactive use)")
+		workerID    = flag.Int("workerid", 0, "worker identity under -worker (assigned by the coordinator)")
+		workers     = flag.Int("workers", 0, "distribute the Table I/II sweep across this many local worker processes")
+		connectSel  = flag.String("connect", "", "comma-separated splitlockd addresses (host:port or URL) to lease Table I/II cells to as remote workers")
+		leaseT      = flag.Duration("leasetimeout", 15*time.Second, "expire a cell lease whose worker has not heartbeat for this long; the cell is reassigned")
+		hbInterval  = flag.Duration("hbinterval", 500*time.Millisecond, "worker heartbeat interval (coordinator and -worker)")
+		crashBudget = flag.Int("crashbudget", 3, "quarantine a cell after it kills this many workers (recorded on its row; the sweep continues)")
+		faultSel    = flag.String("faultpoints", "", "'list' prints every REPRO_FAULTPOINTS site compiled into this binary, then exits")
 	)
 	flag.Parse()
+	if *faultSel != "" {
+		if *faultSel != "list" {
+			fmt.Fprintf(os.Stderr, "tables: -faultpoints %q unsupported (want 'list')\n", *faultSel)
+			os.Exit(2)
+		}
+		printFaultpoints()
+		return
+	}
+	if *workerMode {
+		// Worker processes speak the dispatch protocol on stdout; nothing
+		// else may be printed there, so this branch exits before any of
+		// the table rendering below can run.
+		if err := runWorker(*workerID, *hbInterval, *jobTimeout, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "tables worker %d: %v\n", *workerID, err)
+			os.Exit(1)
+		}
+		return
+	}
 	splitList := func(s string) []string {
 		var out []string
 		for _, v := range strings.Split(s, ",") {
@@ -130,6 +171,11 @@ func main() {
 		fail(errors.New("-resume needs -manifest"))
 	}
 
+	distributed := *workers > 0 || *connectSel != ""
+	if distributed && !(*all || *table == "1" || *table == "2" || *table == "f6") {
+		fail(errors.New("-workers/-connect distribute the Table I/II sweep; combine them with -table 1, 2, f6 or -all"))
+	}
+
 	if *all || *table == "1" || *table == "2" || *table == "f6" {
 		any = true
 		manifest, err := openManifest(*manifestP, *resume, runmanifest.Fingerprint{
@@ -141,7 +187,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		rows, err := flow.RunITC(ctx, flow.ITCOptions{
+		itcOpt := flow.ITCOptions{
 			Benchmarks: benches,
 			Scale:      *scale, KeyBits: *keyBits, Patterns: *patterns,
 			Seed: *seed, Parallel: *parallel, SimWorkers: *simWork,
@@ -149,7 +195,39 @@ func main() {
 			SolverWorkers: *satWork,
 			JobTimeout:    *jobTimeout, Retries: *retries,
 			Manifest: manifest,
-		})
+		}
+		if distributed {
+			coord, fleet, err := newCoordinator(coordinatorConfig{
+				workers:     *workers,
+				connect:     splitList(*connectSel),
+				leaseT:      *leaseT,
+				hbInterval:  *hbInterval,
+				crashBudget: *crashBudget,
+				jobTimeout:  *jobTimeout,
+				retries:     *retries,
+			})
+			if err != nil {
+				fail(err)
+			}
+			defer coord.Close()
+			runner := flow.DispatchRunner(coord, itcOpt)
+			itcOpt.CellRunner = func(ctx context.Context, bench string, layer int) (flow.SplitResult, error) {
+				res, err := runner(ctx, bench, layer)
+				if err != nil && dispatch.IsQuarantined(err) && manifest != nil {
+					// Record the quarantined cell's fate in the manifest so a
+					// -resume of the sweep knows why the cell is absent; the
+					// cell itself stays missing, so the resume retries it.
+					manifest.PutNote(flow.ITCCellKey(bench, layer), err.Error())
+					_ = manifest.Flush()
+				}
+				return res, err
+			}
+			// Cells beyond the fleet size would only queue at the
+			// coordinator; match the sweep's width to the fleet.
+			itcOpt.Parallel = true
+			itcOpt.Parallelism = fleet
+		}
+		rows, err := flow.RunITC(ctx, itcOpt)
 		interrupted(manifest)
 		if *all || *table == "1" {
 			printTableI(rows)
@@ -268,6 +346,95 @@ func mergeShards(out string, shardPaths []string) error {
 	}
 	fmt.Printf("merged %d shards (%d cells) into %s\n", len(shards), merged.Len(), out)
 	return nil
+}
+
+// runWorker serves one dispatch worker on stdin/stdout until the
+// coordinator sends quit or closes the pipe. jobTimeout and retries are
+// worker-local knobs; everything that affects a cell's result arrives
+// in the leased CellSpec, so the printed table is independent of which
+// worker computed which cell.
+func runWorker(id int, hbInterval, jobTimeout time.Duration, retries int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return dispatch.ServeWorker(ctx, os.Stdin, os.Stdout, dispatch.WorkerOptions{
+		ID:                id,
+		HeartbeatInterval: hbInterval,
+		Run:               flow.DispatchCellFunc(flow.ITCOptions{JobTimeout: jobTimeout, Retries: retries}),
+	})
+}
+
+// coordinatorConfig gathers the dispatch-related flags.
+type coordinatorConfig struct {
+	workers     int
+	connect     []string
+	leaseT      time.Duration
+	hbInterval  time.Duration
+	crashBudget int
+	jobTimeout  time.Duration
+	retries     int
+}
+
+// newCoordinator builds the worker fleet: cfg.workers local processes
+// re-executing this binary in -worker mode, plus one remote-worker slot
+// per -connect daemon. It returns the fleet size so the sweep's
+// parallelism can match it.
+func newCoordinator(cfg coordinatorConfig) (*dispatch.Coordinator, int, error) {
+	var spawners []dispatch.SpawnFunc
+	if cfg.workers > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, 0, fmt.Errorf("cannot locate own binary to spawn workers: %w", err)
+		}
+		// Workers inherit this process's environment (REPRO_FAULTPOINTS
+		// included — per-worker fault sites key off the -workerid that
+		// ProcSpawner appends).
+		argv := []string{exe, "-worker",
+			"-hbinterval", cfg.hbInterval.String(),
+			"-jobtimeout", cfg.jobTimeout.String(),
+			"-retries", strconv.Itoa(cfg.retries),
+		}
+		for i := 0; i < cfg.workers; i++ {
+			spawners = append(spawners, dispatch.ProcSpawner(argv, nil))
+		}
+	}
+	for _, target := range cfg.connect {
+		url := target
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		spawners = append(spawners, dispatch.RemoteSpawner(url, nil))
+	}
+	coord, err := dispatch.New(dispatch.Options{
+		Spawners:     spawners,
+		LeaseTimeout: cfg.leaseT,
+		CrashBudget:  cfg.crashBudget,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return coord, len(spawners), nil
+}
+
+// printFaultpoints lists every Describe'd fault site linked into this
+// binary alongside the REPRO_FAULTPOINTS grammar, so injectable
+// failures are discoverable without reading source.
+func printFaultpoints() {
+	fmt.Println("REPRO_FAULTPOINTS arms fault-injection sites for crash testing:")
+	fmt.Println()
+	fmt.Println("  REPRO_FAULTPOINTS='name:action;name:after=N:action' tables ...")
+	fmt.Println()
+	fmt.Println("actions: panic | exit=CODE | stall=DURATION; after=N fires on the")
+	fmt.Println("N'th hit. Dispatch worker sites are also hit as 'site#<workerid>'")
+	fmt.Println("(one specific worker; respawned replacements get fresh ids and are")
+	fmt.Println("never re-hit) and 'site@<bench>/M<layer>' (one specific cell).")
+	fmt.Println()
+	fmt.Println("sites compiled into this binary:")
+	for _, s := range faultpoint.Sites() {
+		fmt.Printf("  %-32s %s\n", s.Name, s.Doc)
+	}
 }
 
 func printTableI(rows []flow.ITCRow) {

@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+)
+
+// ProcSpawner returns a SpawnFunc that runs worker processes: argv[0]
+// is the binary (usually os.Executable()), argv[1:] its arguments. The
+// spawned command additionally receives "-workerid <id>" so fault sites
+// and logs can name the worker, and inherits the parent's environment
+// plus extraEnv. Stderr passes through to the coordinator's stderr;
+// stdout/stdin carry the protocol. The process is bound to ctx: if the
+// coordinator dies, its workers die with it rather than leaking.
+func ProcSpawner(argv []string, extraEnv []string) SpawnFunc {
+	return func(ctx context.Context, id int) (Worker, error) {
+		if len(argv) == 0 {
+			return nil, fmt.Errorf("dispatch: ProcSpawner needs a command")
+		}
+		args := append(append([]string{}, argv[1:]...), "-workerid", strconv.Itoa(id))
+		cmd := exec.CommandContext(ctx, argv[0], args...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: worker stdin: %w", err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: worker stdout: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("dispatch: starting worker: %w", err)
+		}
+		p := &procWorker{
+			cmd:   cmd,
+			stdin: stdin,
+			msgs:  make(chan Message, 8),
+			desc:  fmt.Sprintf("pid %d", cmd.Process.Pid),
+		}
+		go p.read(stdout)
+		return p, nil
+	}
+}
+
+// procWorker is a worker subprocess speaking the protocol over its
+// stdin/stdout.
+type procWorker struct {
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	msgs     chan Message
+	desc     string
+	killOnce sync.Once
+}
+
+func (p *procWorker) String() string { return p.desc }
+
+func (p *procWorker) Assign(m Message) error {
+	line, err := encodeLine(m)
+	if err != nil {
+		return err
+	}
+	if _, err := p.stdin.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("dispatch: writing to worker %s: %w", p.desc, err)
+	}
+	return nil
+}
+
+func (p *procWorker) Messages() <-chan Message { return p.msgs }
+
+// Kill SIGKILLs the worker process. The read goroutine observes the
+// resulting EOF and closes the message channel.
+func (p *procWorker) Kill() {
+	p.killOnce.Do(func() {
+		if p.cmd.Process != nil {
+			_ = p.cmd.Process.Kill()
+		}
+	})
+}
+
+// read pumps protocol lines from the worker's stdout. Unparsable output
+// is reported as a malformed pseudo-message and the worker killed — a
+// worker writing garbage to the protocol stream cannot be trusted with
+// further leases. The channel close is the death notification.
+func (p *procWorker) read(stdout io.Reader) {
+	defer func() {
+		p.Kill()
+		_ = p.cmd.Wait()
+		close(p.msgs)
+	}()
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		m, err := decodeLine(line)
+		if err != nil {
+			p.msgs <- Message{Type: msgMalformed, Error: err.Error()}
+			return
+		}
+		p.msgs <- m
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		p.msgs <- Message{Type: msgMalformed, Error: fmt.Sprintf("reading worker %s: %v", p.desc, err)}
+	}
+}

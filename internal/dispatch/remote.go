@@ -1,0 +1,170 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RemoteSpawner returns a SpawnFunc whose workers are remote: each cell
+// is POSTed to a splitlockd daemon's /v1/cells endpoint and the daemon
+// streams the worker half of the protocol back as NDJSON (hello, then
+// heartbeats while the cell queues and runs, then one res/err line).
+// The coordinator's lease machinery applies unchanged — a daemon that
+// stops heartbeating (network partition, crash, stall) expires exactly
+// like a local worker that was SIGKILLed.
+//
+// A connection refusal or busy (non-200) answer is a rejection, not a
+// death: the cell is requeued without charging its crash budget, and
+// the slot backs off. A failure after the stream started is a death.
+func RemoteSpawner(baseURL string, client *http.Client) SpawnFunc {
+	base := strings.TrimRight(baseURL, "/")
+	if client == nil {
+		client = &http.Client{}
+	}
+	return func(ctx context.Context, id int) (Worker, error) {
+		// Probe liveness so a typo'd address fails the spawn (with slot
+		// backoff) instead of bouncing every cell off it.
+		hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(hctx, http.MethodGet, base+"/v1/healthz", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: probing %s: %w", base, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("dispatch: %s healthz: %s", base, resp.Status)
+		}
+		wctx, wcancel := context.WithCancel(ctx)
+		r := &remoteWorker{
+			base:    base,
+			hc:      client,
+			ctx:     wctx,
+			cancel:  wcancel,
+			assigns: make(chan Message, 1),
+			msgs:    make(chan Message, 8),
+		}
+		go r.run()
+		return r, nil
+	}
+}
+
+// remoteWorker adapts one splitlockd daemon to the Worker interface.
+// One cell is in flight at a time (the coordinator guarantees one lease
+// per slot).
+type remoteWorker struct {
+	base    string
+	hc      *http.Client
+	ctx     context.Context
+	cancel  context.CancelFunc
+	assigns chan Message
+	msgs    chan Message
+}
+
+func (r *remoteWorker) String() string { return r.base }
+
+func (r *remoteWorker) Assign(m Message) error {
+	select {
+	case r.assigns <- m:
+		return nil
+	case <-r.ctx.Done():
+		return fmt.Errorf("dispatch: remote worker %s is dead", r.base)
+	}
+}
+
+func (r *remoteWorker) Messages() <-chan Message { return r.msgs }
+
+func (r *remoteWorker) Kill() { r.cancel() }
+
+// run owns the message channel: it serves assignments sequentially and
+// closes the channel when the worker is killed.
+func (r *remoteWorker) run() {
+	defer close(r.msgs)
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case m := <-r.assigns:
+			r.serve(m)
+		}
+	}
+}
+
+// send forwards a message unless the worker has been killed.
+func (r *remoteWorker) send(m Message) {
+	select {
+	case r.msgs <- m:
+	case <-r.ctx.Done():
+	}
+}
+
+// serve streams one cell through the daemon, stamping the daemon's
+// anonymous protocol lines with the coordinator's lease ID.
+func (r *remoteWorker) serve(assign Message) {
+	body, err := json.Marshal(assign.Cell)
+	if err != nil {
+		r.send(Message{Type: msgRejected, ID: assign.ID, Error: err.Error()})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodPost, r.base+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		r.send(Message{Type: msgRejected, ID: assign.ID, Error: err.Error()})
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		// Nothing ran yet: requeue the cell for free, back the slot off.
+		r.send(Message{Type: msgRejected, ID: assign.ID, Error: err.Error()})
+		r.cancel()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.send(Message{Type: msgRejected, ID: assign.ID, Error: fmt.Sprintf("%s /v1/cells: %s", r.base, resp.Status)})
+		r.cancel()
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	finished := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		m, err := decodeLine(line)
+		if err != nil {
+			r.send(Message{Type: msgMalformed, Error: err.Error()})
+			r.cancel()
+			return
+		}
+		if m.Type == MsgResult || m.Type == MsgError {
+			finished = true
+		}
+		m.ID = assign.ID
+		r.send(m)
+		if finished {
+			return
+		}
+	}
+	if r.ctx.Err() != nil {
+		return
+	}
+	// The stream ended without a result: the daemon died mid-cell.
+	cause := "stream ended mid-cell"
+	if err := sc.Err(); err != nil {
+		cause = err.Error()
+	}
+	r.send(Message{Type: msgMalformed, Error: fmt.Sprintf("%s: %s", r.base, cause)})
+	r.cancel()
+}

@@ -13,6 +13,7 @@ package faultpoint
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +25,9 @@ var (
 	armed  atomic.Int32 // registered-point count; 0 = Hit is a no-op
 	mu     sync.Mutex
 	points map[string]func()
+
+	sitesMu sync.Mutex
+	sites   map[string]string // known site name -> documentation
 )
 
 func init() {
@@ -67,6 +71,72 @@ func hitSlow(name string) {
 	if fn != nil {
 		fn()
 	}
+}
+
+// Fired invokes the action registered for name, like Hit, and reports
+// whether that action panicked — swallowing the panic. It is the hook
+// for *behavioral* fault sites: code asks Fired("pkg.drop-result") and,
+// when a test (or REPRO_FAULTPOINTS with the `panic` action) has armed
+// the point, substitutes the faulty behavior — dropping a message,
+// corrupting a payload — instead of crashing. Exit and stall actions
+// keep their usual meaning (the process exits / the call sleeps and
+// Fired returns false). With nothing armed it costs one atomic load.
+func Fired(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	return firedSlow(name)
+}
+
+func firedSlow(name string) (fired bool) {
+	mu.Lock()
+	fn := points[name]
+	mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	defer func() {
+		if recover() != nil {
+			fired = true
+		}
+	}()
+	fn()
+	return false
+}
+
+// Describe registers a fault site's name and documentation in the
+// discovery registry (it does not arm anything). Packages declare their
+// Hit/Fired call sites in package-level vars so `tables -faultpoints
+// list` can enumerate them instead of requiring a source dive; dynamic
+// site families use a <placeholder> in the name. Returns name so a
+// declaration doubles as the constant used at the call site.
+func Describe(name, doc string) string {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	if sites == nil {
+		sites = make(map[string]string)
+	}
+	sites[name] = doc
+	return name
+}
+
+// Site is one discoverable fault-injection point.
+type Site struct {
+	Name string
+	Doc  string
+}
+
+// Sites returns every Describe'd fault site linked into the binary, in
+// name order.
+func Sites() []Site {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	out := make([]Site, 0, len(sites))
+	for name, doc := range sites {
+		out = append(out, Site{Name: name, Doc: doc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Set registers action fn for point name, replacing any previous

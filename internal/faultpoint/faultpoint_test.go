@@ -114,6 +114,65 @@ func TestArmEnvValidSpec(t *testing.T) {
 	}
 }
 
+// TestFired: a panic-armed action reports fired=true (and the panic is
+// swallowed); non-panic actions and disarmed sites report false. This is
+// the contract behavioral sites (drop-result, corrupt-payload) build on.
+func TestFired(t *testing.T) {
+	defer Reset()
+	if Fired("nothing.registered") {
+		t.Fatal("disarmed site reported fired")
+	}
+	Set("behave", func() { panic("substitute the faulty behavior") })
+	if !Fired("behave") {
+		t.Fatal("panic-armed site did not report fired")
+	}
+	ran := false
+	Set("plain", func() { ran = true })
+	if Fired("plain") {
+		t.Fatal("non-panicking action reported fired")
+	}
+	if !ran {
+		t.Fatal("Fired did not invoke the non-panicking action")
+	}
+	// The REPRO_FAULTPOINTS grammar composes: after=2:panic fires the
+	// behavior on the second call only.
+	if err := Arm("nth:after=2:panic"); err != nil {
+		t.Fatal(err)
+	}
+	if Fired("nth") {
+		t.Fatal("after=2 fired on the first call")
+	}
+	if !Fired("nth") {
+		t.Fatal("after=2 did not fire on the second call")
+	}
+	if Fired("nth") {
+		t.Fatal("after=2 fired on the third call")
+	}
+}
+
+// TestDescribeSites: the discovery registry returns described sites
+// sorted by name, and re-describing a name updates its doc in place.
+func TestDescribeSites(t *testing.T) {
+	name := Describe("zz.test.site", "doc one")
+	if name != "zz.test.site" {
+		t.Fatalf("Describe returned %q", name)
+	}
+	Describe("aa.test.site", "another")
+	Describe("zz.test.site", "doc two")
+	var got []Site
+	for _, s := range Sites() {
+		if s.Name == "zz.test.site" || s.Name == "aa.test.site" {
+			got = append(got, s)
+		}
+	}
+	if len(got) != 2 || got[0].Name != "aa.test.site" || got[1].Name != "zz.test.site" {
+		t.Fatalf("Sites() = %+v, want aa before zz with no duplicates", got)
+	}
+	if got[1].Doc != "doc two" {
+		t.Fatalf("re-Describe did not update doc: %+v", got[1])
+	}
+}
+
 func TestHitConcurrent(t *testing.T) {
 	defer Reset()
 	var mu sync.Mutex

@@ -1,0 +1,71 @@
+package flow
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/runmanifest"
+)
+
+func itcFingerprint(opt ITCOptions) runmanifest.Fingerprint {
+	return runmanifest.Fingerprint{
+		Experiment: "itc",
+		Scale:      opt.Scale,
+		KeyBits:    opt.KeyBits,
+		Patterns:   opt.Patterns,
+		Seed:       opt.Seed,
+	}
+}
+
+// TestCellRunnerManifestByteIdentical: a RunITC whose cells travel
+// through the CellRunner seam — marshaled to a payload by the worker
+// side, unmarshaled back by the coordinator side, exactly as the
+// dispatch layer does — must flush a manifest byte-identical to a
+// plain in-process run. This is the property the distributed harness
+// stands on: any worker, any attempt, same bytes.
+func TestCellRunnerManifestByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	base := robustITCOpts()
+
+	local := base
+	local.Manifest = runmanifest.New(filepath.Join(dir, "local.json"), itcFingerprint(base))
+	if _, err := RunITC(context.Background(), local); err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	seamed := base
+	seamed.Manifest = runmanifest.New(filepath.Join(dir, "seam.json"), itcFingerprint(base))
+	// The worker half (DispatchCellFunc) and coordinator half
+	// (payload → SplitResult) composed in-process: same marshal /
+	// unmarshal boundary as a real worker fleet, minus the OS plumbing.
+	cell := DispatchCellFunc(base)
+	seamed.CellRunner = func(ctx context.Context, bench string, layer int) (SplitResult, error) {
+		payload, err := cell(ctx, CellSpecFor(bench, layer, base))
+		if err != nil {
+			return SplitResult{}, err
+		}
+		var res SplitResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return SplitResult{}, err
+		}
+		return res, nil
+	}
+	if _, err := RunITC(context.Background(), seamed); err != nil {
+		t.Fatalf("seamed run: %v", err)
+	}
+
+	b1, err := os.ReadFile(filepath.Join(dir, "local.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir, "seam.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("manifests differ:\nlocal: %s\nseam:  %s", b1, b2)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/bmarks"
 	"repro/internal/defense"
+	"repro/internal/dispatch"
 	"repro/internal/engine"
 	"repro/internal/faultpoint"
 	"repro/internal/metrics"
@@ -21,6 +22,14 @@ import (
 	"repro/internal/runmanifest"
 	"repro/internal/sim"
 	"repro/internal/split"
+)
+
+// Fault-injection sites (enumerable via `tables -faultpoints list`).
+var (
+	fpCellDone = faultpoint.Describe("flow.itc.cell.done",
+		"flow: after an ITC cell is recorded and checkpointed; exit= here simulates dying between cells")
+	fpITCRun = faultpoint.Describe("flow.itc.run",
+		"flow: at the start of every ITC cell computation (also per-cell as flow.itc.run@<bench>/M<layer>)")
 )
 
 // SplitResult aggregates the Table I / Table II / footnote 6 metrics
@@ -103,6 +112,17 @@ type ITCOptions struct {
 	// serialized under the run's result lock). It must not influence
 	// results — the daemon streams it to job event listeners.
 	Progress func(key string, done, total int) `json:"-"`
+	// CellRunner, when non-nil, replaces the in-process cell
+	// computation: RunITC keeps its manifest-skip, checkpoint, progress
+	// and error plumbing but delegates each missing cell here (the
+	// dispatch coordinator plugs in at this seam to run cells in worker
+	// processes). The runner must be deterministic in (bench, layer) for
+	// fixed options — RunITC checkpoints whatever it returns.
+	CellRunner func(ctx context.Context, bench string, layer int) (SplitResult, error) `json:"-"`
+	// Parallelism caps concurrent cells under Parallel (0 = GOMAXPROCS).
+	// With a CellRunner backed by a worker fleet it should equal the
+	// fleet size: cells beyond it would only queue at the coordinator.
+	Parallelism int
 }
 
 func (o ITCOptions) withDefaults() ITCOptions {
@@ -158,7 +178,9 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 			jobs = append(jobs, job{bi, sl})
 		}
 	}
-	opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(jobs))
+	if opt.CellRunner == nil {
+		opt.SimWorkers = splitSimWorkers(opt.SimWorkers, opt.Parallel, len(jobs))
+	}
 	var mu sync.Mutex
 	var manifestErr error
 	done := 0
@@ -167,7 +189,13 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 			return
 		}
 		bench := opt.Benchmarks[j.bi]
-		res, err := runITCJob(ctx, bench, j.layer, opt)
+		var res SplitResult
+		var err error
+		if opt.CellRunner != nil {
+			res, err = opt.CellRunner(ctx, bench, j.layer)
+		} else {
+			res, err = runITCJob(ctx, bench, j.layer, opt)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -202,10 +230,14 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 				manifestErr = fmt.Errorf("checkpoint %s: %w", key, err)
 			}
 		}
-		faultpoint.Hit("flow.itc.cell.done")
+		faultpoint.Hit(fpCellDone)
 	}
 	if opt.Parallel {
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		width := opt.Parallelism
+		if width <= 0 {
+			width = runtime.GOMAXPROCS(0)
+		}
+		sem := make(chan struct{}, width)
 		var wg sync.WaitGroup
 		for _, j := range jobs {
 			wg.Add(1)
@@ -240,6 +272,14 @@ func RunITC(ctx context.Context, opt ITCOptions) ([]ITCRow, error) {
 	return rows, errors.Join(errs...)
 }
 
+// RunITCCell computes one benchmark×layer cell under the in-process
+// robustness policy — panic isolation, the per-job deadline, and
+// jittered-backoff retries. It is the worker-side entry point of the
+// dispatch layer: a `tables -worker` process calls this once per lease.
+func RunITCCell(ctx context.Context, bench string, layer int, opt ITCOptions) (SplitResult, error) {
+	return runITCJob(ctx, bench, layer, opt.withDefaults())
+}
+
 // runITCJob wraps one cell with the robustness policy: panic isolation,
 // an optional per-job deadline, and bounded-backoff retries for
 // transient failures. Cancellation of the parent context is returned
@@ -256,10 +296,15 @@ func runITCJob(ctx context.Context, bench string, layer int, opt ITCOptions) (Sp
 		if err == nil || attempt >= opt.Retries || ctx.Err() != nil {
 			return res, err
 		}
+		// Parallel cells tend to fail together (a shared resource spike),
+		// so bare doubling would retry them together too. The jitter is
+		// derived from the run seed and the cell key: de-phased across
+		// cells, yet byte-reproducible from run to run.
+		delay := backoff + dispatch.Jitter(opt.Seed, ITCCellKey(bench, layer), attempt+1, backoff)
 		select {
 		case <-ctx.Done():
 			return res, err
-		case <-time.After(backoff):
+		case <-time.After(delay):
 		}
 		backoff *= 2
 	}
@@ -294,8 +339,8 @@ func runOneITCIsolated(ctx context.Context, bench string, layer int, opt ITCOpti
 }
 
 func runOneITC(ctx context.Context, bench string, splitLayer int, opt ITCOptions) (SplitResult, error) {
-	faultpoint.Hit("flow.itc.run")
-	faultpoint.Hit("flow.itc.run:" + ITCCellKey(bench, splitLayer))
+	faultpoint.Hit(fpITCRun)
+	faultpoint.Hit(fpITCRun + "@" + ITCCellKey(bench, splitLayer))
 	if err := ctx.Err(); err != nil {
 		return SplitResult{}, err
 	}

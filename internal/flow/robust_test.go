@@ -31,7 +31,7 @@ func robustITCOpts() ITCOptions {
 // cells complete normally, and the joined error must name the cell.
 func TestRunITCPanicIsolation(t *testing.T) {
 	defer faultpoint.Reset()
-	faultpoint.Set("flow.itc.run:b14/M4", func() { panic("injected fault") })
+	faultpoint.Set("flow.itc.run@b14/M4", func() { panic("injected fault") })
 
 	rows, err := RunITC(context.Background(), robustITCOpts())
 	if err == nil {
@@ -60,7 +60,7 @@ func TestRunITCPanicIsolation(t *testing.T) {
 func TestRunITCRetry(t *testing.T) {
 	defer faultpoint.Reset()
 	var calls atomic.Int32
-	faultpoint.Set("flow.itc.run:b14/M4", func() {
+	faultpoint.Set("flow.itc.run@b14/M4", func() {
 		if calls.Add(1) == 1 {
 			panic("transient fault")
 		}
@@ -92,7 +92,7 @@ func TestRunITCJobTimeout(t *testing.T) {
 	// The deadline applies to every job, so it must be generous enough
 	// for the un-stalled sibling to finish and the stall long enough to
 	// blow it with margin.
-	faultpoint.Set("flow.itc.run:b14/M4", func() { time.Sleep(2500 * time.Millisecond) })
+	faultpoint.Set("flow.itc.run@b14/M4", func() { time.Sleep(2500 * time.Millisecond) })
 
 	opt := robustITCOpts()
 	opt.JobTimeout = time.Second

@@ -29,6 +29,9 @@ import (
 // written by a different one.
 const Version = 1
 
+var fpPreRename = faultpoint.Describe("runmanifest.flush.pre-rename",
+	"runmanifest: between writing the temp file and the atomic rename; corrupt or kill here to test crash-safe flushes")
+
 // Fingerprint identifies the experiment configuration a manifest's
 // cells were computed under. All fields except Benchmarks must match
 // exactly for cells to be reusable; Benchmarks is the shard axis —
@@ -87,14 +90,22 @@ type Manifest struct {
 	mu    sync.Mutex
 	fp    Fingerprint
 	cells map[string]json.RawMessage
-	path  string // "" for in-memory manifests
+	notes map[string]string
+	// origin records, per cell key, the manifest file a merged cell came
+	// from, so payload conflicts can name both offenders. Cells recorded
+	// by Put originate from this manifest itself.
+	origin map[string]string
+	path   string // "" for in-memory manifests
 }
 
-// manifestFile is the on-disk JSON shape.
+// manifestFile is the on-disk JSON shape. Notes is omitted when empty
+// so runs that never write one produce byte-identical files with or
+// without the notes machinery linked in.
 type manifestFile struct {
 	Version     int                        `json:"version"`
 	Fingerprint Fingerprint                `json:"fingerprint"`
 	Cells       map[string]json.RawMessage `json:"cells"`
+	Notes       map[string]string          `json:"notes,omitempty"`
 }
 
 // New returns an empty manifest for the given configuration, persisted
@@ -144,6 +155,9 @@ func Load(path string) (*Manifest, error) {
 	if mf.Cells != nil {
 		m.cells = mf.Cells
 	}
+	if mf.Notes != nil {
+		m.notes = mf.Notes
+	}
 	return m, nil
 }
 
@@ -188,6 +202,41 @@ func (m *Manifest) Put(key string, v any) error {
 	return nil
 }
 
+// PutNote attaches an advisory annotation to a key (it does not flush).
+// Notes live outside the cell namespace: the table harness records a
+// quarantined cell's fate here — the cell itself stays absent, so a
+// later resume retries it, while the note survives as the run's record
+// of what happened. Notes never affect cell reuse or byte-identity of
+// runs that write none (the section is omitted when empty).
+func (m *Manifest) PutNote(key, note string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.notes == nil {
+		m.notes = make(map[string]string)
+	}
+	m.notes[key] = note
+}
+
+// Note returns the annotation for key, if any.
+func (m *Manifest) Note(key string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	note, ok := m.notes[key]
+	return note, ok
+}
+
+// NoteKeys returns the annotated keys in sorted order.
+func (m *Manifest) NoteKeys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.notes))
+	for k := range m.notes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Get unmarshals the payload of cell key into v, reporting whether the
 // cell is present. A present-but-unparsable payload returns an error;
 // callers resuming a run should treat that cell as not completed.
@@ -217,6 +266,7 @@ func (m *Manifest) Flush() error {
 		Version:     Version,
 		Fingerprint: m.fp,
 		Cells:       m.cells,
+		Notes:       m.notes,
 	}, "", "  ")
 	m.mu.Unlock()
 	if err != nil {
@@ -237,7 +287,7 @@ func (m *Manifest) Flush() error {
 	// Fault-injection seam: tests truncate or corrupt the temp file here
 	// to prove that Load detects a damaged manifest instead of resuming
 	// from garbage.
-	faultpoint.Hit("runmanifest.flush.pre-rename")
+	faultpoint.Hit(fpPreRename)
 	if err := os.Rename(tmp, m.path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("runmanifest: %w", err)
@@ -248,9 +298,11 @@ func (m *Manifest) Flush() error {
 // Merge unions the cells of the shard manifests into m. Every shard's
 // fingerprint must be compatible with m's (equal up to the benchmark
 // axis); m's benchmark set becomes the union. A cell present in two
-// inputs with different payloads is an error — cells are deterministic
-// functions of the fingerprint, so a payload conflict means the shards
-// did not come from the same configuration.
+// inputs with different payloads is an error naming both shard files —
+// cells are deterministic functions of the fingerprint, so a payload
+// conflict means the shards did not come from the same configuration,
+// and the fix starts with knowing which two files disagree. Notes are
+// unioned first-wins.
 func (m *Manifest) Merge(shards ...*Manifest) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -258,12 +310,15 @@ func (m *Manifest) Merge(shards ...*Manifest) error {
 	for _, b := range m.fp.Benchmarks {
 		benches[b] = true
 	}
+	if m.origin == nil {
+		m.origin = make(map[string]string)
+	}
 	for _, sh := range shards {
 		sh.mu.Lock()
-		fp, cells := sh.fp, sh.cells
+		fp, cells, notes := sh.fp, sh.cells, sh.notes
 		sh.mu.Unlock()
 		if err := m.fp.CompatibleWith(fp); err != nil {
-			return fmt.Errorf("runmanifest: shard %s is incompatible: %w", sh.path, err)
+			return fmt.Errorf("runmanifest: shard %s is incompatible: %w", describePath(sh.path), err)
 		}
 		for _, b := range fp.Benchmarks {
 			benches[b] = true
@@ -271,11 +326,25 @@ func (m *Manifest) Merge(shards ...*Manifest) error {
 		for k, v := range cells {
 			if prev, ok := m.cells[k]; ok {
 				if string(prev) != string(v) {
-					return fmt.Errorf("runmanifest: cell %s differs between shards", k)
+					from, ok := m.origin[k]
+					if !ok {
+						from = describePath(m.path)
+					}
+					return fmt.Errorf("runmanifest: cell %s differs between shards %s and %s (same key, different payload — the shards were not run under one configuration)",
+						k, from, describePath(sh.path))
 				}
 				continue
 			}
 			m.cells[k] = v
+			m.origin[k] = describePath(sh.path)
+		}
+		for k, v := range notes {
+			if _, ok := m.notes[k]; !ok {
+				if m.notes == nil {
+					m.notes = make(map[string]string)
+				}
+				m.notes[k] = v
+			}
 		}
 	}
 	m.fp.Benchmarks = m.fp.Benchmarks[:0]
@@ -284,4 +353,13 @@ func (m *Manifest) Merge(shards ...*Manifest) error {
 	}
 	sort.Strings(m.fp.Benchmarks)
 	return nil
+}
+
+// describePath names a manifest in an error message; in-memory
+// manifests have no file to point at.
+func describePath(path string) string {
+	if path == "" {
+		return "<in-memory manifest>"
+	}
+	return path
 }

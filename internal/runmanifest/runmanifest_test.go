@@ -174,6 +174,99 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeConflictNamesShards: a payload conflict must name both
+// offending manifest files — with a dozen shard files on disk, "cell X
+// differs" without paths sends the operator diffing every pair.
+func TestMergeConflictNamesShards(t *testing.T) {
+	dir := t.TempDir()
+	fpA := testFP()
+	pathA := filepath.Join(dir, "shard-a.json")
+	pathB := filepath.Join(dir, "shard-b.json")
+
+	a := New(pathA, fpA)
+	a.Put("b14/M4", cell{CCR: 1})
+	b := New(pathB, fpA)
+	b.Put("b14/M4", cell{CCR: 2})
+
+	merged := New(filepath.Join(dir, "m.json"), fpA)
+	err := merged.Merge(a, b)
+	if err == nil {
+		t.Fatal("conflicting shards merged successfully")
+	}
+	for _, want := range []string{"b14/M4", pathA, pathB} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not name %q", err, want)
+		}
+	}
+
+	// A conflict against a cell the target manifest held before any
+	// merge names the target's own file.
+	target := New(filepath.Join(dir, "target.json"), fpA)
+	target.Put("b14/M6", cell{CCR: 5})
+	c := New(pathB, fpA)
+	c.Put("b14/M6", cell{CCR: 6})
+	err = target.Merge(c)
+	if err == nil {
+		t.Fatal("conflicting shard merged into pre-filled target")
+	}
+	for _, want := range []string{filepath.Join(dir, "target.json"), pathB} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not name %q", err, want)
+		}
+	}
+}
+
+// TestNotesRoundTripAndMerge: notes persist across Flush/Load, merge
+// first-wins, and — critically — a manifest that never writes a note
+// serializes without a notes section, keeping note-free runs
+// byte-identical to manifests written before notes existed.
+func TestNotesRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	m := New(path, testFP())
+	m.Put("b14/M4", cell{CCR: 1})
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(clean), "notes") {
+		t.Fatalf("note-free manifest serialized a notes section:\n%s", clean)
+	}
+
+	m.PutNote("b14/M6", "quarantined after 3 worker deaths")
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note, ok := m2.Note("b14/M6")
+	if !ok || !strings.Contains(note, "quarantined") {
+		t.Fatalf("note did not round-trip: %q, %v", note, ok)
+	}
+	if keys := m2.NoteKeys(); len(keys) != 1 || keys[0] != "b14/M6" {
+		t.Fatalf("NoteKeys = %v", keys)
+	}
+
+	// Merge unions notes first-wins.
+	other := New("", testFP())
+	other.PutNote("b14/M6", "different note")
+	other.PutNote("b15/M4", "another cell's note")
+	if err := m2.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if note, _ := m2.Note("b14/M6"); !strings.Contains(note, "quarantined") {
+		t.Fatalf("merge overwrote existing note: %q", note)
+	}
+	if _, ok := m2.Note("b15/M4"); !ok {
+		t.Fatal("merge dropped the new shard's note")
+	}
+}
+
 // TestTruncatedFlushDetected proves the crash model: a flush that dies
 // before the rename leaves the previous manifest intact, and a manifest
 // damaged on disk is rejected by Load rather than silently resumed.

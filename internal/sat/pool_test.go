@@ -121,6 +121,98 @@ func TestPoolAcquireCancel(t *testing.T) {
 	}
 }
 
+// TestPoolCancelledWaiterMidQueue: cancelling a waiter that is queued
+// behind the head must neither leak its FIFO position nor starve the
+// waiters behind it — the released slot flows past the dead waiter to
+// the next live one.
+func TestPoolCancelledWaiterMidQueue(t *testing.T) {
+	p := NewPool(1)
+	hold, err := p.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	aErr := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(ctxA, 1)
+		aErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // A is queued first
+
+	bLease := make(chan *Lease, 1)
+	go func() {
+		l, err := p.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		}
+		bLease <- l
+	}()
+	time.Sleep(20 * time.Millisecond) // B is queued behind A
+
+	cancelA()
+	if err := <-aErr; err != context.Canceled {
+		t.Fatalf("cancelled mid-queue Acquire = %v, want context.Canceled", err)
+	}
+
+	hold.Release()
+	select {
+	case l := <-bLease:
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter behind a cancelled waiter was starved")
+	}
+	if p.Free() != 1 {
+		t.Fatalf("free = %d, want 1", p.Free())
+	}
+}
+
+// TestPoolWaiterCancelChurn hammers the grant-races-cancellation window
+// (a waiter whose context fires just as release hands it slots must
+// return the grant, not leak it). Any leaked slot shows up as a final
+// free count below capacity; a stuck waiter shows up as a hang.
+func TestPoolWaiterCancelChurn(t *testing.T) {
+	p := NewPool(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if (i+j)%3 != 0 {
+					// Deadlines from "already expired" to "fires mid-wait".
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(j%5)*50*time.Microsecond)
+				}
+				l, err := p.Acquire(ctx, 1+j%3)
+				cancel()
+				if err == nil {
+					l.Release()
+				} else if err != context.DeadlineExceeded && err != context.Canceled {
+					t.Errorf("Acquire: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p.Free() != 2 {
+		t.Fatalf("free = %d after cancel churn, want 2 (slots leaked to cancelled waiters)", p.Free())
+	}
+	// And the pool still serves: a fresh acquirer is not starved.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	l, err := p.Acquire(ctx, 2)
+	if err != nil {
+		t.Fatalf("pool unusable after cancel churn: %v", err)
+	}
+	if l.Slots() != 2 {
+		t.Fatalf("got %d slots from an idle 2-slot pool", l.Slots())
+	}
+	l.Release()
+}
+
 func TestPoolConcurrentChurn(t *testing.T) {
 	p := NewPool(3)
 	var wg sync.WaitGroup

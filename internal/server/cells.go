@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/flow"
+)
+
+// cellHeartbeatInterval paces the hb lines of a /v1/cells stream. The
+// coordinator's lease timeout should be a comfortable multiple.
+const cellHeartbeatInterval = 500 * time.Millisecond
+
+// RunCell computes one dispatched table cell, gated by the daemon's
+// cell-slot semaphore so a coordinator fleet cannot oversubscribe the
+// host. It blocks while waiting for a slot (the HTTP layer heartbeats
+// through the wait, keeping the coordinator's lease alive); a draining
+// daemon refuses new cells so its coordinator reassigns them elsewhere.
+func (m *Manager) RunCell(ctx context.Context, spec dispatch.CellSpec) (json.RawMessage, error) {
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	if draining {
+		return nil, ErrDraining
+	}
+	select {
+	case m.cellSem <- struct{}{}:
+		defer func() { <-m.cellSem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-m.rootCtx.Done():
+		return nil, ErrDraining
+	}
+	// Bind the cell to the daemon's lifetime as well as the request's:
+	// a drain mid-cell cancels the compute, the stream ends without a
+	// result line, and the coordinator treats this daemon as a dead
+	// worker — which, for lease purposes, it is.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := context.AfterFunc(m.rootCtx, cancel)
+	defer stop()
+	return flow.DispatchCellFunc(flow.ITCOptions{JobTimeout: m.opt.JobTimeout})(cctx, spec)
+}
+
+// CellsRunning reports the number of dispatched cells in flight.
+func (m *Manager) CellsRunning() int { return len(m.cellSem) }
+
+// cells serves the remote-worker leg of the dispatch protocol: the
+// request body is one CellSpec, and the response streams the
+// worker→coordinator half as NDJSON — hello, heartbeats while the cell
+// queues and computes, then exactly one res or err line. Lease IDs are
+// the coordinator's business; the client stamps them onto these lines.
+// A daemon at capacity keeps heartbeating until a slot frees; a
+// draining daemon answers 503 before the stream starts, which the
+// coordinator treats as a rejection (requeue elsewhere, no crash-budget
+// charge).
+func (s *Server) cells(w http.ResponseWriter, r *http.Request) {
+	var spec dispatch.CellSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad cell spec: %v", err)
+		return
+	}
+	if spec.Bench == "" || spec.Layer == 0 {
+		writeError(w, http.StatusBadRequest, "cell spec needs bench and layer")
+		return
+	}
+	if s.mgr.Draining() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	send := func(m dispatch.Message) bool {
+		if err := enc.Encode(m); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !send(dispatch.Message{Type: dispatch.MsgHello, Version: dispatch.ProtocolVersion}) {
+		return
+	}
+
+	type outcome struct {
+		payload json.RawMessage
+		err     error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		payload, err := s.mgr.RunCell(r.Context(), spec)
+		res <- outcome{payload, err}
+	}()
+	tick := time.NewTicker(cellHeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case o := <-res:
+			if o.err != nil {
+				// Context/drain errors end the stream with no result line:
+				// the coordinator must count this daemon as dead, not the
+				// cell as cleanly failed.
+				if r.Context().Err() != nil || s.mgr.rootCtx.Err() != nil {
+					return
+				}
+				send(dispatch.Message{Type: dispatch.MsgError, Error: o.err.Error()})
+				return
+			}
+			send(dispatch.Message{Type: dispatch.MsgResult, Payload: o.payload})
+			return
+		case <-tick.C:
+			if !send(dispatch.Message{Type: dispatch.MsgHeartbeat}) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}

@@ -68,6 +68,10 @@ type ManagerOptions struct {
 	// JobTimeout is the per-job deadline (0 = none). A job that blows
 	// it fails; drain interruption is not a timeout.
 	JobTimeout time.Duration
+	// MaxCells bounds concurrently running dispatched table cells (the
+	// POST /v1/cells remote-worker leg); requests beyond it queue,
+	// heartbeating while they wait. Default: MaxJobs.
+	MaxCells int
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -76,6 +80,9 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	}
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = 64
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = o.MaxJobs
 	}
 	return o
 }
@@ -112,6 +119,7 @@ type Manager struct {
 	seq      int
 	draining bool
 	journal  *runmanifest.Manifest
+	cellSem  chan struct{} // counting semaphore for dispatched cells
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -131,10 +139,11 @@ func jobsJournalFP() runmanifest.Fingerprint {
 func NewManager(opt ManagerOptions) (*Manager, error) {
 	opt = opt.withDefaults()
 	m := &Manager{
-		opt:   opt,
-		pool:  sat.NewPool(opt.SolverSlots),
-		cache: NewCache(opt.CacheEntries),
-		jobs:  make(map[string]*jobState),
+		opt:     opt,
+		pool:    sat.NewPool(opt.SolverSlots),
+		cache:   NewCache(opt.CacheEntries),
+		jobs:    make(map[string]*jobState),
+		cellSem: make(chan struct{}, opt.MaxCells),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.rootCtx, m.rootCancel = context.WithCancel(context.Background())

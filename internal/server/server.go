@@ -15,11 +15,16 @@ import (
 //	GET  /v1/jobs             list jobs           → 200 []JobRecord
 //	GET  /v1/jobs/{id}        poll one job        → 200 JobRecord
 //	GET  /v1/jobs/{id}/events stream progress     → 200 NDJSON
+//	POST /v1/cells            run a table cell    → 200 NDJSON (dispatch protocol)
 //	GET  /v1/healthz          daemon liveness     → 200 counters
 //
 // The events stream is newline-delimited JSON, flushed per event, and
 // ends when the job reaches a terminal status — a curl reader sees
-// stage lines arrive live and EOF when the job settles.
+// stage lines arrive live and EOF when the job settles. The cells
+// stream speaks the worker half of the dispatch protocol (see
+// internal/dispatch): a `tables -connect` coordinator leases
+// benchmark×layer cells to this daemon as if it were a local worker
+// process.
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
@@ -32,6 +37,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("POST /v1/cells", s.cells)
 	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
 	return s
 }
@@ -143,6 +149,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		"queued":       queued,
 		"running":      running,
 		"cached":       cached,
+		"cells":        s.mgr.CellsRunning(),
 		"solver_slots": s.mgr.pool.Total(),
 		"solver_free":  s.mgr.pool.Free(),
 	})
